@@ -1,0 +1,200 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! Printed once per run (the Criterion timing target is the epoch-length
+//! point, the cheapest representative):
+//!
+//! * **Threshold (in)sensitivity** — the paper claims DMA-dominated memory
+//!   energy is almost insensitive to the low-level policy's thresholds;
+//!   we sweep the Lebeck thresholds x0.5/x1/x2 and the self-tuning policy.
+//! * **Epoch length** — the paper says results are insensitive to the
+//!   slack-accounting epoch as long as it is not too large.
+//! * **Request granularity** — 8-byte vs 64-byte DMA-memory requests keep
+//!   the same Rm/Rb ratio, so uf and savings shapes should match.
+//! * **Bus discipline** — PerEngine (paper model) vs strict TDM.
+//! * **Static vs dynamic low-level policy** — dynamic saves more
+//!   (Section 2.2).
+//! * **PL hot fraction `p`** — sensitivity of DMA-TA-PL to the 60% target.
+//! * **Migration cost-benefit gate** — the paper's future-work item.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dma_trace::{SyntheticStorageGen, TraceGen};
+use dmamem::experiments::{mu_from_baseline, paper_system, Workload};
+use dmamem::{PlConfig, PolicyKind, Scheme, ServerSimulator, SystemConfig, TaConfig};
+use iobus::{BusConfig, BusDiscipline};
+use mempower::PowerMode;
+use simcore::SimDuration;
+
+const MS: u64 = 2;
+const SEED: u64 = 42;
+
+fn run(config: &SystemConfig, scheme: Scheme) -> dmamem::SimResult {
+    let trace = SyntheticStorageGen::default().generate(SimDuration::from_ms(MS), SEED);
+    ServerSimulator::new(config.clone(), scheme).run(&trace)
+}
+
+fn mu_at_10pct(config: &SystemConfig) -> f64 {
+    let base = run(config, Scheme::baseline());
+    mu_from_baseline(config, &base, 0.10, Workload::SyntheticSt.client_extra_latency())
+}
+
+fn ablate_thresholds() {
+    println!("--- ablation: low-level policy thresholds (baseline energy, Synthetic-St) ---");
+    for (label, policy) in [
+        ("dynamic x0.5", PolicyKind::Dynamic { scale: 0.5 }),
+        ("dynamic x1.0", PolicyKind::Dynamic { scale: 1.0 }),
+        ("dynamic x2.0", PolicyKind::Dynamic { scale: 2.0 }),
+        ("self-tuning", PolicyKind::SelfTuning),
+    ] {
+        let config = SystemConfig {
+            policy,
+            ..paper_system()
+        };
+        let r = run(&config, Scheme::baseline());
+        println!("  {label:<13} {:>8.3} mJ (uf {:.2})", r.energy.total_mj(), r.utilization_factor());
+    }
+}
+
+fn ablate_epoch() {
+    println!("--- ablation: DMA-TA epoch length (savings at 10% CP) ---");
+    let config = paper_system();
+    let base = run(&config, Scheme::baseline());
+    let mu = mu_at_10pct(&config);
+    for us in [1u64, 5, 20] {
+        let scheme = Scheme {
+            ta: Some(TaConfig {
+                epoch: SimDuration::from_us(us),
+                ..TaConfig::new(mu)
+            }),
+            pl: None,
+        };
+        let r = run(&config, scheme);
+        println!("  epoch {us:>2} us: savings {:+.1}%", r.savings_vs(&base) * 100.0);
+    }
+}
+
+fn ablate_granularity() {
+    println!("--- ablation: DMA-memory request size (baseline uf) ---");
+    for bytes in [8u64, 64] {
+        let config = paper_system().with_buses(3, BusConfig::pci_x().with_request_bytes(bytes));
+        let r = run(&config, Scheme::baseline());
+        println!("  {bytes:>2}-byte requests: uf {:.3}", r.utilization_factor());
+    }
+}
+
+fn ablate_discipline() {
+    println!("--- ablation: bus discipline (baseline energy) ---");
+    for (label, d) in [
+        ("per-engine", BusDiscipline::PerEngine),
+        ("strict TDM", BusDiscipline::TimeDivision),
+    ] {
+        let config = paper_system().with_buses(3, BusConfig::pci_x().with_discipline(d));
+        let r = run(&config, Scheme::baseline());
+        println!("  {label}: {:>8.3} mJ (uf {:.2})", r.energy.total_mj(), r.utilization_factor());
+    }
+}
+
+fn ablate_static_policy() {
+    println!("--- ablation: static vs dynamic low-level policy (baseline energy) ---");
+    for (label, policy) in [
+        ("static nap", PolicyKind::Static(PowerMode::Nap)),
+        ("static powerdown", PolicyKind::Static(PowerMode::Powerdown)),
+        ("dynamic", PolicyKind::Dynamic { scale: 1.0 }),
+    ] {
+        let config = SystemConfig {
+            policy,
+            ..paper_system()
+        };
+        let r = run(&config, Scheme::baseline());
+        println!("  {label:<17} {:>8.3} mJ", r.energy.total_mj());
+    }
+}
+
+fn ablate_pl_p() {
+    println!("--- ablation: PL hot-traffic target p (DMA-TA-PL(2) savings at 10% CP) ---");
+    let config = paper_system();
+    let base = run(&config, Scheme::baseline());
+    let mu = mu_at_10pct(&config);
+    for p in [0.4, 0.6, 0.8] {
+        let scheme = Scheme {
+            ta: Some(TaConfig::new(mu)),
+            pl: Some(PlConfig {
+                p,
+                ..PlConfig::new(2)
+            }),
+        };
+        let r = run(&config, scheme);
+        println!(
+            "  p = {p:.1}: savings {:+.1}% ({} moves)",
+            r.savings_vs(&base) * 100.0,
+            r.page_moves
+        );
+    }
+}
+
+fn ablate_migration_chunking() {
+    println!("--- ablation: migration chunk size (Section 4.2.2 hiding; DMA-TA-PL(2) at 10% CP) ---");
+    let config = paper_system();
+    let base = run(&config, Scheme::baseline());
+    let mu = mu_at_10pct(&config);
+    for chunk in [8192u64, 64, 8] {
+        let scheme = Scheme {
+            ta: Some(TaConfig::new(mu)),
+            pl: Some(PlConfig {
+                migration_chunk_bytes: chunk,
+                ..PlConfig::new(2)
+            }),
+        };
+        let r = run(&config, scheme);
+        println!(
+            "  {chunk:>5}-byte chunks: savings {:+.1}%, mean request {:.1} ns",
+            r.savings_vs(&base) * 100.0,
+            r.request_service.mean_ns()
+        );
+    }
+}
+
+fn ablate_migration_gate() {
+    println!("--- ablation: migration cost-benefit gate (DMA-TA-PL(2) at 10% CP) ---");
+    let config = paper_system();
+    let base = run(&config, Scheme::baseline());
+    let mu = mu_at_10pct(&config);
+    for gate in [0u32, 2, 8] {
+        let scheme = Scheme {
+            ta: Some(TaConfig::new(mu)),
+            pl: Some(PlConfig {
+                min_count_to_migrate: gate,
+                ..PlConfig::new(2)
+            }),
+        };
+        let r = run(&config, scheme);
+        println!(
+            "  gate >= {gate}: savings {:+.1}% ({} moves)",
+            r.savings_vs(&base) * 100.0,
+            r.page_moves
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    ablate_thresholds();
+    ablate_epoch();
+    ablate_granularity();
+    ablate_discipline();
+    ablate_static_policy();
+    ablate_pl_p();
+    ablate_migration_gate();
+    ablate_migration_chunking();
+
+    let config = paper_system();
+    let mu = mu_at_10pct(&config);
+    c.bench_function("ablation_ta_run", |b| {
+        b.iter(|| run(&config, Scheme::dma_ta(mu)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 10: savings vs memory/I-O bandwidth ratio.
+
+use bench::fig10_table;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmamem::experiments::{fig10, ExpConfig};
+
+fn bench(c: &mut Criterion) {
+    let exp = ExpConfig::quick();
+    println!(
+        "fig10 (quick):\n{}",
+        fig10_table(&fig10(exp, &[1.064e9, 3.0e9], 0.10))
+    );
+    c.bench_function("fig10_ratio_point", |b| {
+        b.iter(|| fig10(exp, &[1.064e9], 0.10))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

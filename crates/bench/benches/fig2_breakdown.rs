@@ -1,0 +1,31 @@
+//! Figure 2(b): baseline energy breakdown — regenerates the figure data and
+//! benchmarks the baseline simulation behind it.
+
+use bench::breakdown_line;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmamem::experiments::{fig2a, fig2b, paper_system, ExpConfig, Workload};
+use dmamem::{Scheme, ServerSimulator};
+
+fn bench(c: &mut Criterion) {
+    let exp = ExpConfig::quick();
+    let f = fig2a();
+    println!(
+        "fig2a: serving {:.1} cycles, idle {:.1} cycles, uf {:.3}",
+        f.serving_cycles, f.idle_cycles, f.measured_uf
+    );
+    for (name, e) in fig2b(exp) {
+        println!("fig2b {name}: {}", breakdown_line(&e));
+    }
+
+    let trace = Workload::OltpSt.generate(exp.duration, exp.seed);
+    c.bench_function("fig2b_baseline_oltp_st", |b| {
+        b.iter(|| ServerSimulator::new(paper_system(), Scheme::baseline()).run(&trace))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 4: OLTP-St page-popularity CDF — regenerates the CDF and
+//! benchmarks trace generation + CDF computation.
+
+use bench::fig4_table;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dma_trace::{OltpStGen, TraceGen};
+use dmamem::experiments::{fig4, ExpConfig};
+use simcore::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    let exp = ExpConfig::quick();
+    println!("fig4:\n{}", fig4_table(&fig4(exp, 10)));
+
+    c.bench_function("fig4_generate_and_cdf", |b| {
+        b.iter(|| {
+            let t = OltpStGen::default().generate(SimDuration::from_ms(5), 42);
+            t.popularity_cdf().share_of_top(0.2)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 5: energy savings vs CP-Limit — regenerates one representative
+//! point per workload and benchmarks the full scheme comparison.
+
+use bench::fig5_table;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmamem::experiments::{fig5, mu_from_baseline, paper_system, ExpConfig, Workload};
+use dmamem::{Scheme, ServerSimulator};
+
+fn bench(c: &mut Criterion) {
+    let exp = ExpConfig::quick();
+    let rows = fig5(exp, &[Workload::SyntheticSt, Workload::OltpSt], &[0.10]);
+    println!("fig5 (quick):\n{}", fig5_table(&rows));
+
+    let config = paper_system();
+    let trace = Workload::SyntheticSt.generate(exp.duration, exp.seed);
+    let baseline = ServerSimulator::new(config.clone(), Scheme::baseline()).run(&trace);
+    let mu = mu_from_baseline(
+        &config,
+        &baseline,
+        0.10,
+        Workload::SyntheticSt.client_extra_latency(),
+    );
+    c.bench_function("fig5_dma_ta_pl_synthetic_st", |b| {
+        b.iter(|| ServerSimulator::new(config.clone(), Scheme::dma_ta_pl(mu, 2)).run(&trace))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

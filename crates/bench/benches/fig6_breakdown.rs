@@ -1,0 +1,22 @@
+//! Figure 6: per-scheme energy breakdowns at 10% CP-Limit (OLTP-St).
+
+use bench::breakdown_line;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmamem::experiments::{fig6, ExpConfig};
+
+fn bench(c: &mut Criterion) {
+    let exp = ExpConfig::quick();
+    for (name, e) in fig6(exp, 0.10) {
+        println!("fig6 {name}: {}", breakdown_line(&e));
+    }
+    c.bench_function("fig6_three_scheme_comparison", |b| {
+        b.iter(|| fig6(exp, 0.10))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Figure 7: utilization factor vs CP-Limit (OLTP-St).
+
+use bench::fig7_table;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmamem::experiments::{fig7, ExpConfig};
+
+fn bench(c: &mut Criterion) {
+    let exp = ExpConfig::quick();
+    println!("fig7 (quick):\n{}", fig7_table(&fig7(exp, &[0.05, 0.10, 0.30])));
+    c.bench_function("fig7_uf_sweep", |b| b.iter(|| fig7(exp, &[0.10])));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 8: savings vs workload intensity (Synthetic-St).
+
+use bench::fig8_table;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmamem::experiments::{fig8, ExpConfig};
+
+fn bench(c: &mut Criterion) {
+    let exp = ExpConfig::quick();
+    println!(
+        "fig8 (quick):\n{}",
+        fig8_table(&fig8(exp, &[50.0, 100.0, 200.0], 0.10))
+    );
+    c.bench_function("fig8_intensity_point", |b| {
+        b.iter(|| fig8(exp, &[100.0], 0.10))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Figure 9: savings vs processor accesses per transfer (Synthetic-Db).
+
+use bench::fig9_table;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmamem::experiments::{fig9, ExpConfig};
+
+fn bench(c: &mut Criterion) {
+    let exp = ExpConfig::quick();
+    println!(
+        "fig9 (quick):\n{}",
+        fig9_table(&fig9(exp, &[0.0, 100.0, 233.0], 0.10))
+    );
+    c.bench_function("fig9_proc_point", |b| b.iter(|| fig9(exp, &[100.0], 0.10)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,220 @@
+//! Regenerates every table and figure of the paper as text.
+//!
+//! ```text
+//! experiments [EXHIBIT] [--ms N] [--seed S]
+//! ```
+//!
+//! `EXHIBIT` is one of `table1 table2 fig2a fig2b fig3 fig4 fig5 fig6 fig7
+//! fig8 fig9 fig10 groups all` (default `all`). `--ms` sets the simulated
+//! trace length per run (default 50), `--seed` the workload seed (default
+//! 42), and `--csv DIR` additionally writes each figure's data as CSV files
+//! into `DIR` for replotting.
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bench::{
+    breakdown_line, fig10_table, fig4_table, fig5_table, fig7_table, fig8_table, fig9_table,
+    table2_text, ALL_WORKLOADS, BUS_RATE_SWEEP, CP_SWEEP, INTENSITY_SWEEP, PROC_SWEEP,
+};
+use dmamem::experiments::{self, ExpConfig};
+use simcore::SimDuration;
+
+fn main() -> ExitCode {
+    let mut exhibit = "all".to_string();
+    let mut ms = 50u64;
+    let mut seed = 42u64;
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut args = env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => ms = v,
+                None => return usage("--ms needs a number"),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage("--seed needs a number"),
+            },
+            "--csv" => match args.next() {
+                Some(dir) => csv_dir = Some(PathBuf::from(dir)),
+                None => return usage("--csv needs a directory"),
+            },
+            "--help" | "-h" => return usage(""),
+            other if !other.starts_with('-') => exhibit = other.to_string(),
+            other => return usage(&format!("unknown flag {other}")),
+        }
+    }
+    let exp = ExpConfig {
+        duration: SimDuration::from_ms(ms),
+        seed,
+    };
+
+    if let Some(dir) = &csv_dir {
+        if let Err(e) = fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let write_csv = |name: &str, contents: String| {
+        if let Some(dir) = &csv_dir {
+            let path = dir.join(name);
+            if let Err(e) = fs::write(&path, contents) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("(csv written to {})", path.display());
+            }
+        }
+    };
+    let all = exhibit == "all";
+    let mut matched = false;
+    let section = |name: &str| {
+        println!("\n================ {name} ================");
+    };
+
+    if all || exhibit == "table1" {
+        matched = true;
+        section("Table 1: RDRAM power model");
+        println!("{}", experiments::table1_text());
+    }
+    if all || exhibit == "table2" {
+        matched = true;
+        section("Table 2: trace characteristics");
+        println!("{}", table2_text(exp));
+        println!("(paper: OLTP-St 45.0 net + 16.7 disk /ms; OLTP-Db 100/ms + 23,300 proc/ms)");
+    }
+    if all || exhibit == "fig2a" {
+        matched = true;
+        section("Figure 2(a): cycle waste during one DMA transfer");
+        let f = experiments::fig2a();
+        println!(
+            "serving {:.1} cycles + idle {:.1} cycles per request; measured single-transfer uf = {:.3} (paper: 4 + 8, uf = 1/3)",
+            f.serving_cycles, f.idle_cycles, f.measured_uf
+        );
+        println!("\n{}", experiments::fig2a_timeline());
+    }
+    if all || exhibit == "fig2b" {
+        matched = true;
+        section("Figure 2(b): baseline energy breakdowns");
+        for (name, e) in experiments::fig2b(exp) {
+            println!("{name}: {}", breakdown_line(&e));
+        }
+        println!("(paper: Active Idle DMA 48-51%, Active Serving 26-27%, threshold 3-4%)");
+    }
+    if all || exhibit == "fig3" {
+        matched = true;
+        section("Figure 3: temporal alignment of staggered transfers");
+        let f = experiments::fig3();
+        println!(
+            "baseline uf {:.2} -> DMA-TA uf {:.2} ({} first requests delayed, then lockstep)",
+            f.baseline_uf, f.ta_uf, f.delayed_firsts
+        );
+        println!("\n{}", experiments::fig3_timeline());
+    }
+    if all || exhibit == "fig4" {
+        matched = true;
+        section("Figure 4: OLTP-St page-popularity CDF");
+        let pts = experiments::fig4(exp, 10);
+        println!("{}", fig4_table(&pts));
+        write_csv("fig4.csv", bench::csv::fig4(&pts));
+        println!("(paper: ~20% of pages receive ~60% of DMA accesses)");
+    }
+    if all || exhibit == "fig5" {
+        matched = true;
+        section("Figure 5: energy savings vs CP-Limit");
+        let rows = experiments::fig5(exp, &ALL_WORKLOADS, &CP_SWEEP);
+        println!("{}", fig5_table(&rows));
+        write_csv("fig5.csv", bench::csv::fig5(&rows));
+        println!("(paper: up to 38.6% for OLTP-St DMA-TA-PL(2) at 10%; savings rise then plateau)");
+    }
+    if all || exhibit == "fig6" {
+        matched = true;
+        section("Figure 6: energy breakdowns at 10% CP-Limit (OLTP-St)");
+        let mut csv = String::from("scheme,category,energy_mj,fraction\n");
+        for (name, e) in experiments::fig6(exp, 0.10) {
+            println!("{name}: {}", breakdown_line(&e));
+            csv.push_str(&bench::csv::breakdown(&name, &e));
+        }
+        write_csv("fig6.csv", csv);
+    }
+    if all || exhibit == "fig7" {
+        matched = true;
+        section("Figure 7: utilization factors vs CP-Limit (OLTP-St)");
+        let rows = experiments::fig7(exp, &CP_SWEEP);
+        println!("{}", fig7_table(&rows));
+        write_csv("fig7.csv", bench::csv::fig7(&rows));
+        println!("(paper: baseline ~0.33; DMA-TA-PL 0.63 at 10%, 0.75 at 30%)");
+    }
+    if all || exhibit == "fig8" {
+        matched = true;
+        section("Figure 8: savings vs workload intensity (Synthetic-St)");
+        let rows = experiments::fig8(exp, &INTENSITY_SWEEP, 0.10);
+        println!("{}", fig8_table(&rows));
+        write_csv("fig8.csv", bench::csv::fig8(&rows));
+    }
+    if all || exhibit == "fig9" {
+        matched = true;
+        section("Figure 9: savings vs processor accesses per transfer (Synthetic-Db)");
+        let rows = experiments::fig9(exp, &PROC_SWEEP, 0.10);
+        println!("{}", fig9_table(&rows));
+        write_csv("fig9.csv", bench::csv::fig9(&rows));
+        println!("(paper: savings drop with processor accesses but stay significant; OLTP-Db ~233)");
+    }
+    if all || exhibit == "fig10" {
+        matched = true;
+        section("Figure 10: savings vs memory/I-O bandwidth ratio");
+        let rows = experiments::fig10(exp, &BUS_RATE_SWEEP, 0.10);
+        println!("{}", fig10_table(&rows));
+        write_csv("fig10.csv", bench::csv::fig10(&rows));
+        println!("(paper: ~5% at ratio ~1, growing with the ratio)");
+    }
+
+    if all || exhibit == "tpch" {
+        matched = true;
+        section("Extension: TPC-H-style scans (paper future work)");
+        for row in experiments::tpch(exp, 0.10) {
+            println!(
+                "{}: savings {:+.1}%, uf {:.2}, {} page moves",
+                row.scheme,
+                row.savings * 100.0,
+                row.uf,
+                row.page_moves
+            );
+        }
+        println!("(uniform scan popularity: PL has nothing to concentrate; DMA-TA still aligns colliding scans)");
+    }
+    if all || exhibit == "groups" {
+        matched = true;
+        section("Ablation: PL group count (scaled 64-frame chips, Zipf 0.5)");
+        for row in experiments::group_ablation(exp, 0.10) {
+            println!(
+                "K = {}: savings {:+.1}% ({} page moves)",
+                row.groups,
+                row.savings * 100.0,
+                row.page_moves
+            );
+        }
+        println!("(paper Figure 5: K = 2 best; K = 6 pays heavy migration churn, e.g. -15.2% on OLTP-St)");
+    }
+
+    if !matched {
+        return usage(&format!("unknown exhibit {exhibit:?}"));
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: experiments [table1|table2|fig2a|fig2b|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|groups|tpch|all] [--ms N] [--seed S] [--csv DIR]"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,124 @@
+//! Generates the paper's workload traces to files, inspects them, and
+//! replays them through the simulator.
+//!
+//! ```text
+//! tracegen gen  <oltp-st|synthetic-st|oltp-db|synthetic-db|tpch> OUT [--ms N] [--seed S] [--text]
+//! tracegen info FILE
+//! tracegen run  FILE [--scheme baseline|ta|ta-pl] [--mu X]
+//! ```
+//!
+//! Files are the compact binary format by default (`--text` for the
+//! human-auditable one); `info` and `run` auto-detect the format.
+
+use std::env;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom};
+use std::process::ExitCode;
+
+use dma_trace::{Trace, TraceGen};
+use dmamem::{Scheme, ServerSimulator, SystemConfig};
+use simcore::SimDuration;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        _ => Err("expected a subcommand: gen | info | run".to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage:\n  tracegen gen <oltp-st|synthetic-st|oltp-db|synthetic-db|tpch> OUT [--ms N] [--seed S] [--text]\n  tracegen info FILE\n  tracegen run FILE [--scheme baseline|ta|ta-pl] [--mu X]"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn generator(name: &str) -> Result<Box<dyn TraceGen>, String> {
+    Ok(match name {
+        "oltp-st" => Box::new(dma_trace::OltpStGen::default()),
+        "synthetic-st" => Box::new(dma_trace::SyntheticStorageGen::default()),
+        "oltp-db" => Box::new(dma_trace::OltpDbGen::default()),
+        "synthetic-db" => Box::new(dma_trace::SyntheticDbGen::default()),
+        "tpch" => Box::new(dma_trace::TpchScanGen::default()),
+        other => return Err(format!("unknown workload {other:?}")),
+    })
+}
+
+fn parse_flag<T: std::str::FromStr>(
+    args: &[String],
+    flag: &str,
+    default: T,
+) -> Result<T, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(default),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .parse()
+            .map_err(|_| format!("bad value for {flag}")),
+    }
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("gen needs a workload name")?;
+    let out = args.get(1).ok_or("gen needs an output path")?;
+    let ms: u64 = parse_flag(args, "--ms", 20)?;
+    let seed: u64 = parse_flag(args, "--seed", 42)?;
+    let text = args.iter().any(|a| a == "--text");
+
+    let gen = generator(name)?;
+    let trace = gen.generate(SimDuration::from_ms(ms), seed);
+    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    if text {
+        trace.write_text(&mut w).map_err(|e| e.to_string())?;
+    } else {
+        trace.write_binary(&mut w).map_err(|e| e.to_string())?;
+    }
+    println!("{}: {} events over {} ms -> {out}", gen.name(), trace.len(), ms);
+    Ok(())
+}
+
+fn load(path: &str) -> Result<Trace, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut r = BufReader::new(file);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic).map_err(|e| e.to_string())?;
+    r.seek(SeekFrom::Start(0)).map_err(|e| e.to_string())?;
+    if &magic == b"DMTR" {
+        Trace::read_binary(r).map_err(|e| e.to_string())
+    } else {
+        Trace::read_text(r).map_err(|e| e.to_string())
+    }
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("info needs a file")?;
+    let trace = load(path)?;
+    println!("{}", trace.stats());
+    println!("popularity: {}", trace.popularity_cdf());
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("run needs a file")?;
+    let scheme_name: String = parse_flag(args, "--scheme", "ta-pl".to_string())?;
+    let mu: f64 = parse_flag(args, "--mu", 1.0)?;
+    let scheme = match scheme_name.as_str() {
+        "baseline" => Scheme::baseline(),
+        "ta" => Scheme::dma_ta(mu),
+        "ta-pl" => Scheme::dma_ta_pl(mu, 2),
+        other => return Err(format!("unknown scheme {other:?}")),
+    };
+    let trace = load(path)?;
+    let r = ServerSimulator::new(SystemConfig::default(), scheme).run(&trace);
+    println!("{r}");
+    println!("{}", r.energy);
+    Ok(())
+}

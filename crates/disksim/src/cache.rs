@@ -1,0 +1,124 @@
+//! On-disk segment (track buffer) cache.
+
+use serde::{Deserialize, Serialize};
+
+/// An LRU cache of LBA extents, modelling a drive's segmented read cache.
+///
+/// Each entry is a contiguous sector extent; a lookup hits when the
+/// requested extent lies entirely inside one cached extent.
+///
+/// # Example
+///
+/// ```
+/// use disksim::SegmentCache;
+///
+/// let mut c = SegmentCache::new(2);
+/// c.insert(100, 50);
+/// assert!(c.contains(120, 10));
+/// assert!(!c.contains(140, 20)); // runs past the extent
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SegmentCache {
+    capacity: usize,
+    /// Most-recently-used last.
+    segments: Vec<(u64, u64)>, // (start, len)
+}
+
+impl SegmentCache {
+    /// Creates a cache with space for `capacity` segments (0 disables it).
+    pub fn new(capacity: usize) -> Self {
+        SegmentCache {
+            capacity,
+            segments: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of resident segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True if no segments are resident.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// True if `[lba, lba+sectors)` lies entirely inside a cached segment.
+    pub fn contains(&self, lba: u64, sectors: u64) -> bool {
+        self.segments
+            .iter()
+            .any(|&(s, l)| lba >= s && lba + sectors <= s + l)
+    }
+
+    /// Marks the segment containing the extent as most recently used.
+    pub fn touch(&mut self, lba: u64, sectors: u64) {
+        if let Some(i) = self
+            .segments
+            .iter()
+            .position(|&(s, l)| lba >= s && lba + sectors <= s + l)
+        {
+            let seg = self.segments.remove(i);
+            self.segments.push(seg);
+        }
+    }
+
+    /// Inserts a new segment `[lba, lba+sectors)`, evicting the least
+    /// recently used if full. No-op when capacity is zero.
+    pub fn insert(&mut self, lba: u64, sectors: u64) {
+        if self.capacity == 0 || sectors == 0 {
+            return;
+        }
+        // Drop any segment fully covered by the new one.
+        self.segments
+            .retain(|&(s, l)| !(s >= lba && s + l <= lba + sectors));
+        if self.segments.len() == self.capacity {
+            self.segments.remove(0);
+        }
+        self.segments.push((lba, sectors));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_requires_full_containment() {
+        let mut c = SegmentCache::new(4);
+        c.insert(100, 10);
+        assert!(c.contains(100, 10));
+        assert!(c.contains(105, 5));
+        assert!(!c.contains(95, 10));
+        assert!(!c.contains(105, 6));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = SegmentCache::new(2);
+        c.insert(0, 10);
+        c.insert(100, 10);
+        c.touch(0, 10); // 0 becomes MRU; 100 is now LRU
+        c.insert(200, 10); // evicts 100
+        assert!(c.contains(0, 10));
+        assert!(!c.contains(100, 10));
+        assert!(c.contains(200, 10));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn covered_segments_are_merged_away() {
+        let mut c = SegmentCache::new(4);
+        c.insert(100, 10);
+        c.insert(90, 40); // covers [100,110)
+        assert_eq!(c.len(), 1);
+        assert!(c.contains(100, 10));
+    }
+
+    #[test]
+    fn zero_capacity_is_inert() {
+        let mut c = SegmentCache::new(0);
+        c.insert(0, 100);
+        assert!(c.is_empty());
+        assert!(!c.contains(0, 1));
+    }
+}

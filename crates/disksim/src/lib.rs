@@ -1,0 +1,41 @@
+//! Analytic disk and disk-array timing model.
+//!
+//! The paper drives its memory simulator with disk-DMA arrival times
+//! produced by DiskSim 2.0. This crate is the workspace's substitute: a
+//! deterministic, mechanically grounded single-disk model (seek curve,
+//! rotational position tracked over time, media transfer, on-disk segment
+//! cache, FCFS queueing) plus a RAID-0 [`DiskArray`]. It answers the one
+//! question the memory simulation needs — *when does the disk start and
+//! finish streaming data for this request* — with realistic magnitudes
+//! (milliseconds, dominated by positioning for random I/O).
+//!
+//! Determinism: rotational latency is not random; the model tracks the
+//! platter's angular position as a function of absolute time, so identical
+//! request sequences produce identical timings.
+//!
+//! # Example
+//!
+//! ```
+//! use disksim::{Disk, DiskParams, DiskRequest, RequestKind};
+//! use simcore::SimTime;
+//!
+//! let mut disk = Disk::new(DiskParams::server_15k());
+//! let req = DiskRequest { lba: 1_000_000, sectors: 16, kind: RequestKind::Read };
+//! let done = disk.submit(SimTime::ZERO, req);
+//! assert!(done.complete > done.start_transfer);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod array;
+mod cache;
+mod disk;
+mod sched;
+mod zones;
+
+pub use array::DiskArray;
+pub use cache::SegmentCache;
+pub use disk::{Disk, DiskAccess, DiskParams, DiskRequest, RequestKind};
+pub use sched::{schedule, total_seek_distance, Discipline};
+pub use zones::{Zone, ZonedGeometry};

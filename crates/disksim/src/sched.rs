@@ -1,0 +1,188 @@
+//! Disk-head scheduling disciplines.
+//!
+//! The analytic [`crate::Disk`] serves FCFS (its `submit` returns final
+//! timings immediately, which requires arrival order = service order).
+//! Real disk firmware and drivers reorder queued requests to cut seek time;
+//! this module provides the classic disciplines as *batch schedulers*: given
+//! a set of queued requests and the current head position, produce the
+//! service order. The storage-server example and the queueing tests use
+//! them to quantify what FCFS costs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::disk::{DiskParams, DiskRequest};
+
+/// A head-scheduling discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Discipline {
+    /// First come, first served (no reordering).
+    Fcfs,
+    /// Shortest seek time first (greedy nearest cylinder).
+    Sstf,
+    /// Elevator: sweep upward to the last cylinder, then downward (SCAN).
+    Scan,
+}
+
+/// Orders `requests` for service starting from `head_cylinder`, returning
+/// indices into the input slice.
+///
+/// # Example
+///
+/// ```
+/// use disksim::{schedule, Discipline, DiskParams, DiskRequest, RequestKind};
+///
+/// let params = DiskParams::server_15k();
+/// let spc = params.sectors_per_cylinder();
+/// let reqs: Vec<DiskRequest> = [50u64, 10, 28]
+///     .iter()
+///     .map(|&cyl| DiskRequest { lba: cyl * spc, sectors: 8, kind: RequestKind::Read })
+///     .collect();
+/// let order = schedule(Discipline::Sstf, &params, 25, &reqs);
+/// assert_eq!(order, vec![2, 1, 0]); // 28, then 10, then 50 from cylinder 25
+/// ```
+pub fn schedule(
+    discipline: Discipline,
+    params: &DiskParams,
+    head_cylinder: u64,
+    requests: &[DiskRequest],
+) -> Vec<usize> {
+    match discipline {
+        Discipline::Fcfs => (0..requests.len()).collect(),
+        Discipline::Sstf => sstf(params, head_cylinder, requests),
+        Discipline::Scan => scan(params, head_cylinder, requests),
+    }
+}
+
+fn sstf(params: &DiskParams, head: u64, requests: &[DiskRequest]) -> Vec<usize> {
+    let mut remaining: Vec<usize> = (0..requests.len()).collect();
+    let mut order = Vec::with_capacity(requests.len());
+    let mut pos = head;
+    while !remaining.is_empty() {
+        let (slot, &idx) = remaining
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &i)| {
+                let cyl = params.cylinder_of(requests[i].lba);
+                (cyl.abs_diff(pos), i) // tie-break on arrival order
+            })
+            .expect("non-empty remaining");
+        pos = params.cylinder_of(requests[idx].lba);
+        order.push(idx);
+        remaining.remove(slot);
+    }
+    order
+}
+
+fn scan(params: &DiskParams, head: u64, requests: &[DiskRequest]) -> Vec<usize> {
+    let mut with_cyl: Vec<(u64, usize)> = requests
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (params.cylinder_of(r.lba), i))
+        .collect();
+    with_cyl.sort_unstable();
+    let split = with_cyl.partition_point(|&(cyl, _)| cyl < head);
+    // Upward sweep first, then the below-head ones in descending order.
+    let mut order: Vec<usize> = with_cyl[split..].iter().map(|&(_, i)| i).collect();
+    order.extend(with_cyl[..split].iter().rev().map(|&(_, i)| i));
+    order
+}
+
+/// Total seek distance (in cylinders) of serving `requests` in `order`
+/// starting from `head_cylinder` — the figure of merit schedulers minimize.
+pub fn total_seek_distance(
+    params: &DiskParams,
+    head_cylinder: u64,
+    requests: &[DiskRequest],
+    order: &[usize],
+) -> u64 {
+    let mut pos = head_cylinder;
+    let mut total = 0;
+    for &i in order {
+        let cyl = params.cylinder_of(requests[i].lba);
+        total += cyl.abs_diff(pos);
+        pos = cyl;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::RequestKind;
+
+    fn reqs_at_cylinders(params: &DiskParams, cyls: &[u64]) -> Vec<DiskRequest> {
+        cyls.iter()
+            .map(|&c| DiskRequest {
+                lba: c * params.sectors_per_cylinder(),
+                sectors: 8,
+                kind: RequestKind::Read,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fcfs_preserves_order() {
+        let p = DiskParams::server_15k();
+        let reqs = reqs_at_cylinders(&p, &[40, 10, 99]);
+        assert_eq!(schedule(Discipline::Fcfs, &p, 0, &reqs), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn sstf_picks_nearest_each_step() {
+        let p = DiskParams::server_15k();
+        let reqs = reqs_at_cylinders(&p, &[100, 20, 60]);
+        // From 50: nearest is 60, then 20... (|60-50|=10) -> 60; from 60:
+        // |100-60|=40 vs |20-60|=40 tie -> arrival order picks index 0 (100).
+        let order = schedule(Discipline::Sstf, &p, 50, &reqs);
+        assert_eq!(order, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn scan_sweeps_up_then_down() {
+        let p = DiskParams::server_15k();
+        let reqs = reqs_at_cylinders(&p, &[80, 10, 60, 30]);
+        let order = schedule(Discipline::Scan, &p, 50, &reqs);
+        // Up: 60, 80; down: 30, 10.
+        assert_eq!(order, vec![2, 0, 3, 1]);
+    }
+
+    #[test]
+    fn sstf_never_seeks_more_than_fcfs_on_average() {
+        let p = DiskParams::server_15k();
+        let mut rng = simcore::rng::DetRng::new(9);
+        let mut fcfs_total = 0u64;
+        let mut sstf_total = 0u64;
+        for _ in 0..50 {
+            let cyls: Vec<u64> = (0..12).map(|_| rng.below(p.cylinders)).collect();
+            let reqs = reqs_at_cylinders(&p, &cyls);
+            let head = rng.below(p.cylinders);
+            let f = schedule(Discipline::Fcfs, &p, head, &reqs);
+            let s = schedule(Discipline::Sstf, &p, head, &reqs);
+            fcfs_total += total_seek_distance(&p, head, &reqs, &f);
+            sstf_total += total_seek_distance(&p, head, &reqs, &s);
+        }
+        assert!(
+            sstf_total < fcfs_total,
+            "SSTF {sstf_total} not better than FCFS {fcfs_total}"
+        );
+    }
+
+    #[test]
+    fn schedules_are_permutations() {
+        let p = DiskParams::server_15k();
+        let reqs = reqs_at_cylinders(&p, &[5, 5, 90, 2, 47, 33]);
+        for d in [Discipline::Fcfs, Discipline::Sstf, Discipline::Scan] {
+            let mut order = schedule(d, &p, 20, &reqs);
+            order.sort_unstable();
+            assert_eq!(order, vec![0, 1, 2, 3, 4, 5], "{d:?} not a permutation");
+        }
+    }
+
+    #[test]
+    fn empty_queue_schedules_empty() {
+        let p = DiskParams::server_15k();
+        for d in [Discipline::Fcfs, Discipline::Sstf, Discipline::Scan] {
+            assert!(schedule(d, &p, 0, &[]).is_empty());
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Zoned (multi-zone) disk geometry.
+//!
+//! Real disks record more sectors per track on outer cylinders (zoned bit
+//! recording), so sequential bandwidth is higher at low LBAs. This module
+//! layers a zone table over [`crate::DiskParams`]: the zone determines the
+//! sectors-per-track (and therefore the media rate) used for a request.
+
+use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
+
+use crate::disk::DiskParams;
+
+/// One zone: a contiguous cylinder range with uniform track density.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Zone {
+    /// First cylinder of the zone.
+    pub first_cylinder: u64,
+    /// Sectors per track within the zone.
+    pub sectors_per_track: u64,
+}
+
+/// A zoned geometry: a base parameter set plus a zone table.
+///
+/// # Example
+///
+/// ```
+/// use disksim::{DiskParams, ZonedGeometry};
+///
+/// let z = ZonedGeometry::three_zone(DiskParams::server_15k());
+/// // Outer zone (low cylinders) is denser than the inner zone.
+/// let outer = z.media_rate_at_cylinder(0);
+/// let inner = z.media_rate_at_cylinder(z.base().cylinders - 1);
+/// assert!(outer > inner);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZonedGeometry {
+    base: DiskParams,
+    zones: Vec<Zone>,
+}
+
+impl ZonedGeometry {
+    /// Builds a zoned geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `zones` is empty, not sorted by `first_cylinder`, does not
+    /// start at cylinder 0, or contains a zone past the end of the disk.
+    pub fn new(base: DiskParams, zones: Vec<Zone>) -> Self {
+        assert!(!zones.is_empty(), "no zones");
+        assert_eq!(zones[0].first_cylinder, 0, "zones must start at cylinder 0");
+        for w in zones.windows(2) {
+            assert!(
+                w[0].first_cylinder < w[1].first_cylinder,
+                "zones must be sorted and disjoint"
+            );
+        }
+        assert!(
+            zones.last().expect("non-empty").first_cylinder < base.cylinders,
+            "zone starts past end of disk"
+        );
+        for z in &zones {
+            assert!(z.sectors_per_track > 0, "empty tracks in zone");
+        }
+        ZonedGeometry { base, zones }
+    }
+
+    /// A typical three-zone profile: outer tracks 30 % denser, inner
+    /// tracks 30 % sparser than the base geometry.
+    pub fn three_zone(base: DiskParams) -> Self {
+        let c = base.cylinders;
+        let spt = base.sectors_per_track;
+        ZonedGeometry::new(
+            base,
+            vec![
+                Zone {
+                    first_cylinder: 0,
+                    sectors_per_track: spt * 13 / 10,
+                },
+                Zone {
+                    first_cylinder: c / 3,
+                    sectors_per_track: spt,
+                },
+                Zone {
+                    first_cylinder: 2 * c / 3,
+                    sectors_per_track: spt * 7 / 10,
+                },
+            ],
+        )
+    }
+
+    /// The base (zone-less) parameters.
+    pub fn base(&self) -> &DiskParams {
+        &self.base
+    }
+
+    /// Number of zones.
+    pub fn zones(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// The zone containing `cylinder`.
+    pub fn zone_of_cylinder(&self, cylinder: u64) -> &Zone {
+        let idx = self
+            .zones
+            .partition_point(|z| z.first_cylinder <= cylinder)
+            .saturating_sub(1);
+        &self.zones[idx]
+    }
+
+    /// Media transfer rate at `cylinder`, in bytes per second.
+    pub fn media_rate_at_cylinder(&self, cylinder: u64) -> f64 {
+        let z = self.zone_of_cylinder(cylinder);
+        z.sectors_per_track as f64 * self.base.sector_bytes as f64 * self.base.rps()
+    }
+
+    /// Time to transfer `bytes` from media at `cylinder`.
+    pub fn media_time(&self, cylinder: u64, bytes: u64) -> SimDuration {
+        SimDuration::from_bytes_at_rate(bytes, self.media_rate_at_cylinder(cylinder))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zone_lookup_uses_ranges() {
+        let z = ZonedGeometry::three_zone(DiskParams::server_15k());
+        let c = z.base().cylinders;
+        assert_eq!(z.zone_of_cylinder(0).first_cylinder, 0);
+        assert_eq!(z.zone_of_cylinder(c / 3).first_cylinder, c / 3);
+        assert_eq!(z.zone_of_cylinder(c / 3 - 1).first_cylinder, 0);
+        assert_eq!(z.zone_of_cylinder(c - 1).first_cylinder, 2 * c / 3);
+    }
+
+    #[test]
+    fn outer_zone_transfers_faster() {
+        let z = ZonedGeometry::three_zone(DiskParams::server_15k());
+        let c = z.base().cylinders;
+        let outer = z.media_time(0, 8192);
+        let mid = z.media_time(c / 2, 8192);
+        let inner = z.media_time(c - 1, 8192);
+        assert!(outer < mid, "{outer} >= {mid}");
+        assert!(mid < inner, "{mid} >= {inner}");
+    }
+
+    #[test]
+    fn rate_matches_density_ratio() {
+        let base = DiskParams::server_15k();
+        let z = ZonedGeometry::three_zone(base.clone());
+        let ratio = z.media_rate_at_cylinder(0) / base.media_bytes_per_sec();
+        assert!((ratio - 1.3).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "start at cylinder 0")]
+    fn zones_must_cover_from_zero() {
+        let _ = ZonedGeometry::new(
+            DiskParams::server_15k(),
+            vec![Zone {
+                first_cylinder: 10,
+                sectors_per_track: 100,
+            }],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and disjoint")]
+    fn zones_must_be_sorted() {
+        let _ = ZonedGeometry::new(
+            DiskParams::server_15k(),
+            vec![
+                Zone {
+                    first_cylinder: 0,
+                    sectors_per_track: 100,
+                },
+                Zone {
+                    first_cylinder: 0,
+                    sectors_per_track: 90,
+                },
+            ],
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the disk timing model.
+
+use disksim::{Disk, DiskArray, DiskParams, DiskRequest, RequestKind};
+use proptest::prelude::*;
+use simcore::SimTime;
+
+fn request(lba: u64, sectors: u64, write: bool) -> DiskRequest {
+    DiskRequest {
+        lba,
+        sectors,
+        kind: if write { RequestKind::Write } else { RequestKind::Read },
+    }
+}
+
+proptest! {
+    /// Service timelines are causally ordered and FCFS for any request mix.
+    #[test]
+    fn timelines_are_causal_and_fcfs(
+        reqs in prop::collection::vec((0u64..1_000_000, 1u64..128, any::<bool>()), 1..40),
+    ) {
+        let mut disk = Disk::new(DiskParams::server_15k());
+        let mut prev_complete = SimTime::ZERO;
+        for (lba, sectors, write) in reqs {
+            let a = disk.submit(SimTime::ZERO, request(lba, sectors, write));
+            prop_assert!(a.start_service >= prev_complete, "FCFS violated");
+            prop_assert!(a.start_transfer >= a.start_service);
+            prop_assert!(a.complete > a.start_transfer);
+            prev_complete = a.complete;
+        }
+    }
+
+    /// Rotational latency is always under one revolution; a mechanical
+    /// access always costs at least the controller overhead plus media
+    /// transfer.
+    #[test]
+    fn latency_components_bounded(lba in 0u64..50_000_000, sectors in 1u64..256) {
+        let params = DiskParams::server_15k();
+        let mut disk = Disk::new(params.clone());
+        let a = disk.submit(SimTime::ZERO, request(lba, sectors, false));
+        prop_assert!(!a.cache_hit);
+        let positioning = a.start_transfer - a.start_service;
+        let max_positioning = params.controller_overhead + params.seek_max + params.revolution();
+        prop_assert!(positioning <= max_positioning, "positioning {positioning} too long");
+        let media = a.complete - a.start_transfer;
+        let expect = simcore::SimDuration::from_bytes_at_rate(
+            sectors * params.sector_bytes,
+            params.media_bytes_per_sec(),
+        );
+        prop_assert_eq!(media, expect);
+    }
+
+    /// Determinism: the same request sequence gives identical timelines.
+    #[test]
+    fn disk_is_deterministic(
+        reqs in prop::collection::vec((0u64..10_000_000, 1u64..64, any::<bool>()), 1..30),
+    ) {
+        let run = |reqs: &[(u64, u64, bool)]| {
+            let mut disk = Disk::new(DiskParams::server_15k());
+            reqs.iter()
+                .map(|&(lba, s, w)| disk.submit(SimTime::ZERO, request(lba, s, w)))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(&reqs), run(&reqs));
+    }
+
+    /// Array routing is a bijection on stripes: every LBA maps to exactly
+    /// one (disk, local) pair, and distinct LBAs in distinct stripes on the
+    /// same disk get distinct local addresses.
+    #[test]
+    fn array_locate_is_injective(
+        width in 1usize..8,
+        stripe in 1u64..512,
+        lbas in prop::collection::vec(0u64..1_000_000, 2..30),
+    ) {
+        let array = DiskArray::new(DiskParams::server_15k(), width, stripe);
+        for &lba in &lbas {
+            let loc = array.locate(lba);
+            prop_assert!(loc.0 < width);
+        }
+        // Injectivity of the full mapping.
+        let mut pairs = std::collections::HashMap::new();
+        for &lba in &lbas {
+            let loc = array.locate(lba);
+            if let Some(prev) = pairs.insert(loc, lba) {
+                prop_assert_eq!(prev, lba, "two LBAs mapped to one location");
+            }
+        }
+    }
+
+    /// Sequential reads after a miss hit the segment cache and are
+    /// strictly faster than the miss.
+    #[test]
+    fn readahead_hits_are_faster(start in 0u64..1_000_000) {
+        let mut disk = Disk::new(DiskParams::server_15k());
+        let miss = disk.submit(SimTime::ZERO, request(start, 16, false));
+        let hit = disk.submit(miss.complete, request(start + 16, 16, false));
+        prop_assert!(hit.cache_hit);
+        prop_assert!(
+            hit.complete - hit.start_service < miss.complete - miss.start_service
+        );
+    }
+}

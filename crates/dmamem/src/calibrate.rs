@@ -1,0 +1,108 @@
+//! Off-line CP-Limit to `mu` transformation (paper Section 5.1).
+//!
+//! The evaluation expresses the performance budget as **CP-Limit**, the
+//! maximum *client-perceived* average response-time degradation, and
+//! transforms it off-line into the per-request budget `mu` that DMA-TA
+//! actually takes. The transformation runs a short baseline simulation to
+//! measure the average transfer response time `R` and the requests per
+//! transfer `q`: slowing every DMA-memory request by `mu * T` adds
+//! `q * mu * T` to a transfer, so a degradation limit of `cp` allows
+//! `mu = cp * R / (q * T)`.
+
+use dma_trace::Trace;
+use simcore::SimDuration;
+
+use crate::config::{PolicyKind, Scheme, SystemConfig};
+use crate::system::ServerSimulator;
+
+/// Computes `mu` for a client-perceived degradation limit `cp_limit`
+/// (e.g. `0.10` for 10 %), using `trace` as the calibration workload.
+/// `client_extra` is the portion of the client response time outside the
+/// memory DMA path (disk time, query processing — see
+/// [`crate::experiments::Workload::client_extra_latency`]); pass
+/// `SimDuration::ZERO` to bound the raw DMA-path degradation instead.
+///
+/// # Panics
+///
+/// Panics if `cp_limit` is negative/not finite or the trace completes no
+/// transfers.
+pub fn mu_for_cp_limit(
+    config: &SystemConfig,
+    trace: &Trace,
+    cp_limit: f64,
+    client_extra: SimDuration,
+) -> f64 {
+    assert!(
+        cp_limit >= 0.0 && cp_limit.is_finite(),
+        "invalid CP-Limit: {cp_limit}"
+    );
+    let base = ServerSimulator::new(config.clone(), Scheme::baseline()).run(trace);
+    assert!(base.transfers > 0, "calibration trace completed no transfers");
+    let q = base.dma_requests as f64 / base.transfers as f64;
+    let r_ns = base.transfer_response.mean_ns() + client_extra.as_ns_f64();
+    let t_ns = config.t_request().as_ns_f64();
+    cp_limit * r_ns / (q * t_ns)
+}
+
+/// Measures the reference per-request service time `T` of Section 4.1.2:
+/// the mean DMA-memory request service time with *no temporal alignment and
+/// no power management* (chips always active).
+pub fn reference_request_time(config: &SystemConfig, trace: &Trace) -> SimDuration {
+    let mut cfg = config.clone();
+    cfg.policy = PolicyKind::AlwaysActive;
+    let r = ServerSimulator::new(cfg, Scheme::baseline()).run(trace);
+    r.request_service.mean()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dma_trace::{SyntheticStorageGen, TraceGen};
+
+    fn short_trace() -> Trace {
+        SyntheticStorageGen::default().generate(SimDuration::from_ms(2), 5)
+    }
+
+    #[test]
+    fn mu_scales_linearly_with_cp() {
+        let config = SystemConfig::default();
+        let trace = short_trace();
+        let mu10 = mu_for_cp_limit(&config, &trace, 0.10, SimDuration::from_ms(2));
+        let mu20 = mu_for_cp_limit(&config, &trace, 0.20, SimDuration::from_ms(2));
+        assert!(mu10 > 0.0);
+        assert!((mu20 / mu10 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mu_magnitude_is_sane() {
+        // Response ~ transfer time (+ wakes/queueing), q*T = transfer time:
+        // mu should land within an order of magnitude of cp.
+        let config = SystemConfig::default();
+        let mu = mu_for_cp_limit(&config, &short_trace(), 0.10, SimDuration::ZERO);
+        assert!(mu > 0.01 && mu < 2.0, "mu {mu}");
+        // With a disk-dominated client response the budget is much larger.
+        let mu_disk = mu_for_cp_limit(&config, &short_trace(), 0.10, SimDuration::from_ms(2));
+        assert!(mu_disk > mu * 10.0, "mu_disk {mu_disk}");
+    }
+
+    #[test]
+    fn reference_time_close_to_chip_service() {
+        // Without PM or alignment, a request is served in ~4 memory cycles
+        // (2.5 ns) plus occasional queueing.
+        let config = SystemConfig::default();
+        let t = reference_request_time(&config, &short_trace());
+        assert!(
+            t >= SimDuration::from_ps(2_500) && t < SimDuration::from_ns(10),
+            "T = {t}"
+        );
+    }
+
+    #[test]
+    fn zero_cp_gives_zero_mu() {
+        let config = SystemConfig::default();
+        assert_eq!(
+            mu_for_cp_limit(&config, &short_trace(), 0.0, SimDuration::from_ms(1)),
+            0.0
+        );
+    }
+}

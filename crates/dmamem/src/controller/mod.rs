@@ -1,0 +1,13 @@
+//! The DMA-aware memory-controller logic.
+//!
+//! The decision logic of both techniques lives here as pure, independently
+//! testable state machines; [`crate::ServerSimulator`] drives them from its
+//! event loop:
+//!
+//! * [`ta`] — temporal alignment: the global slack account and the
+//!   per-chip gather/release rule (paper Section 4.1).
+//! * [`pl`] — popularity-based layout: reference counting, exponential
+//!   grouping, and migration planning (paper Section 4.2).
+
+pub mod pl;
+pub mod ta;

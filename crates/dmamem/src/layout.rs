@@ -1,0 +1,295 @@
+//! The physical page map: logical pages to (chip, frame) placements.
+//!
+//! Both techniques operate on physical placement (paper Section 4): the
+//! controller resolves every DMA-memory request's page through this map
+//! (the `<old_location, new_location>` translation-table role), and PL
+//! migrates pages by rewriting it.
+
+use iobus::PageId;
+
+use crate::config::SystemConfig;
+
+/// Location of a page: which chip, which frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageLoc {
+    /// Chip index.
+    pub chip: usize,
+    /// Frame index within the chip.
+    pub frame: usize,
+}
+
+/// Logical-page to physical-frame mapping with free-frame tracking.
+///
+/// # Example
+///
+/// ```
+/// use dmamem::{PageMap, SystemConfig};
+///
+/// let config = SystemConfig::default();
+/// let mut map = PageMap::new_sequential(&config);
+/// let from = map.chip_of(0);
+/// let dst = (from + 1) % config.chips;
+/// assert!(map.move_page(0, dst));
+/// assert_eq!(map.chip_of(0), dst);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PageMap {
+    loc: Vec<PageLoc>,
+    /// Per chip: frame -> occupying page.
+    frames: Vec<Vec<Option<PageId>>>,
+    /// Per chip: free frame indices (LIFO).
+    free: Vec<Vec<usize>>,
+    moves: u64,
+}
+
+impl PageMap {
+    /// Lays pages out sequentially, spreading the working set evenly across
+    /// all chips (each chip gets a contiguous run of `pages / chips` logical
+    /// pages, leaving its remaining frames free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`SystemConfig::validate`]).
+    pub fn new_sequential(config: &SystemConfig) -> Self {
+        config.validate();
+        let chips = config.chips;
+        let fpc = config.frames_per_chip();
+        let mut frames = vec![vec![None; fpc]; chips];
+        let mut loc = Vec::with_capacity(config.pages);
+        let mut next_frame = vec![0usize; chips];
+        for page in 0..config.pages {
+            let chip = page * chips / config.pages;
+            let frame = next_frame[chip];
+            assert!(frame < fpc, "chip {chip} overflow during initial layout");
+            frames[chip][frame] = Some(page as PageId);
+            next_frame[chip] += 1;
+            loc.push(PageLoc { chip, frame });
+        }
+        let free = (0..chips)
+            .map(|c| (next_frame[c]..fpc).rev().collect())
+            .collect();
+        PageMap {
+            loc,
+            frames,
+            free,
+            moves: 0,
+        }
+    }
+
+    /// Number of chips.
+    pub fn chips(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Number of logical pages.
+    pub fn pages(&self) -> usize {
+        self.loc.len()
+    }
+
+    /// The chip currently holding `page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn chip_of(&self, page: PageId) -> usize {
+        self.loc[page as usize].chip
+    }
+
+    /// The full location of `page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn loc_of(&self, page: PageId) -> PageLoc {
+        self.loc[page as usize]
+    }
+
+    /// Free frames remaining on `chip`.
+    pub fn free_frames(&self, chip: usize) -> usize {
+        self.free[chip].len()
+    }
+
+    /// Total page moves performed.
+    pub fn moves(&self) -> u64 {
+        self.moves
+    }
+
+    /// Iterates over the pages resident on `chip`.
+    pub fn pages_on_chip(&self, chip: usize) -> impl Iterator<Item = PageId> + '_ {
+        self.frames[chip].iter().filter_map(|f| *f)
+    }
+
+    /// Moves `page` to a free frame on `dst` chip. Returns `false` (and
+    /// does nothing) if `dst` has no free frame or the page is already
+    /// there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` or `dst` is out of range.
+    pub fn move_page(&mut self, page: PageId, dst: usize) -> bool {
+        let cur = self.loc[page as usize];
+        if cur.chip == dst {
+            return false;
+        }
+        let Some(frame) = self.free[dst].pop() else {
+            return false;
+        };
+        self.frames[cur.chip][cur.frame] = None;
+        self.free[cur.chip].push(cur.frame);
+        self.frames[dst][frame] = Some(page);
+        self.loc[page as usize] = PageLoc { chip: dst, frame };
+        self.moves += 1;
+        true
+    }
+
+    /// Exchanges the frames of two pages (the paper's swap-bounded
+    /// shuffling when both sides are full). No-op returning `false` when
+    /// the pages already share a chip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either page is out of range or `a == b`.
+    pub fn swap_pages(&mut self, a: PageId, b: PageId) -> bool {
+        assert_ne!(a, b, "cannot swap a page with itself");
+        let la = self.loc[a as usize];
+        let lb = self.loc[b as usize];
+        if la.chip == lb.chip {
+            return false;
+        }
+        self.frames[la.chip][la.frame] = Some(b);
+        self.frames[lb.chip][lb.frame] = Some(a);
+        self.loc[a as usize] = lb;
+        self.loc[b as usize] = la;
+        self.moves += 2;
+        true
+    }
+
+    /// Finds a page on `chip` for which `victim_ok` holds (used to make
+    /// room by evicting a cold page). Deterministic: scans frames in order.
+    pub fn find_victim(&self, chip: usize, victim_ok: impl Fn(PageId) -> bool) -> Option<PageId> {
+        self.pages_on_chip(chip).find(|&p| victim_ok(p))
+    }
+
+    /// Checks internal invariants (every page in exactly one frame, free
+    /// lists consistent). Used by tests and debug assertions.
+    pub fn check_invariants(&self) {
+        let mut seen = vec![false; self.loc.len()];
+        for (chip, frames) in self.frames.iter().enumerate() {
+            let mut occupied = 0;
+            for (fi, f) in frames.iter().enumerate() {
+                if let Some(p) = *f {
+                    occupied += 1;
+                    assert_eq!(
+                        self.loc[p as usize],
+                        PageLoc { chip, frame: fi },
+                        "page {p} location mismatch"
+                    );
+                    assert!(!seen[p as usize], "page {p} mapped twice");
+                    seen[p as usize] = true;
+                }
+            }
+            assert_eq!(
+                occupied + self.free[chip].len(),
+                frames.len(),
+                "chip {chip} free-list inconsistent"
+            );
+        }
+        assert!(seen.iter().all(|&s| s), "some page unmapped");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> SystemConfig {
+        // 4 chips x 8 frames, 16 pages (half full).
+        SystemConfig {
+            chips: 4,
+            power_model: mempower::PowerModel::rdram().with_chip_bytes(8 * 8192),
+            pages: 16,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sequential_layout_spreads_evenly() {
+        let map = PageMap::new_sequential(&small_config());
+        map.check_invariants();
+        for chip in 0..4 {
+            assert_eq!(map.pages_on_chip(chip).count(), 4);
+            assert_eq!(map.free_frames(chip), 4);
+        }
+        assert_eq!(map.chip_of(0), 0);
+        assert_eq!(map.chip_of(15), 3);
+        // Contiguous runs.
+        assert_eq!(map.chip_of(4), 1);
+        assert_eq!(map.chip_of(7), 1);
+    }
+
+    #[test]
+    fn move_page_updates_everything() {
+        let mut map = PageMap::new_sequential(&small_config());
+        assert!(map.move_page(0, 3));
+        assert_eq!(map.chip_of(0), 3);
+        assert_eq!(map.free_frames(0), 5);
+        assert_eq!(map.free_frames(3), 3);
+        assert_eq!(map.moves(), 1);
+        map.check_invariants();
+    }
+
+    #[test]
+    fn move_to_same_chip_is_noop() {
+        let mut map = PageMap::new_sequential(&small_config());
+        assert!(!map.move_page(0, 0));
+        assert_eq!(map.moves(), 0);
+    }
+
+    #[test]
+    fn move_fails_when_full() {
+        let mut map = PageMap::new_sequential(&small_config());
+        // Fill chip 0 (4 free frames) with pages from chip 1.
+        for page in 4..8 {
+            assert!(map.move_page(page, 0));
+        }
+        assert_eq!(map.free_frames(0), 0);
+        assert!(!map.move_page(8, 0), "move into full chip must fail");
+        map.check_invariants();
+    }
+
+    #[test]
+    fn find_victim_respects_predicate() {
+        let map = PageMap::new_sequential(&small_config());
+        // Chip 2 holds pages 8..12; only odd pages are evictable.
+        let v = map.find_victim(2, |p| p % 2 == 1);
+        assert_eq!(v, Some(9));
+        assert_eq!(map.find_victim(2, |_| false), None);
+    }
+
+    #[test]
+    fn full_occupancy_layout() {
+        // pages == frames: no free frames anywhere.
+        let config = SystemConfig {
+            chips: 4,
+            power_model: mempower::PowerModel::rdram().with_chip_bytes(8 * 8192),
+            pages: 32,
+            ..Default::default()
+        };
+        let map = PageMap::new_sequential(&config);
+        map.check_invariants();
+        for chip in 0..4 {
+            assert_eq!(map.free_frames(chip), 0);
+        }
+    }
+
+    #[test]
+    fn moves_roundtrip_preserves_invariants() {
+        let mut map = PageMap::new_sequential(&small_config());
+        for i in 0..16u64 {
+            let dst = ((i * 7) % 4) as usize;
+            map.move_page(i, dst);
+        }
+        map.check_invariants();
+    }
+}

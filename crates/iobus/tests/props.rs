@@ -1,0 +1,147 @@
+//! Property tests for the bus/DMA pacing model.
+
+use iobus::{Bus, BusConfig, BusDiscipline, DmaDirection, DmaSource, DmaTransfer, IssueOutcome};
+use proptest::prelude::*;
+use simcore::{SimDuration, SimTime};
+
+fn drain(bus: &mut Bus) -> Vec<(SimTime, iobus::DmaRequest)> {
+    let mut out = Vec::new();
+    let mut now = SimTime::ZERO;
+    let mut guard = 0;
+    while bus.active_transfers() > 0 {
+        guard += 1;
+        assert!(guard < 2_000_000, "drain did not terminate");
+        match bus.next_issue_time(now) {
+            Some(t) => now = now.max(t),
+            None => break,
+        }
+        if let IssueOutcome::Issued(r) = bus.issue(now) {
+            if r.is_first {
+                bus.ack_first(r.transfer, now);
+            }
+            out.push((now, r));
+        }
+    }
+    out
+}
+
+fn transfers(sizes: &[u64]) -> Vec<DmaTransfer> {
+    sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &bytes)| {
+            DmaTransfer::new(
+                i as u64 + 1,
+                0,
+                i as u64,
+                bytes,
+                DmaDirection::FromMemory,
+                DmaSource::Network,
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    /// Every transfer's bytes are delivered exactly once, in sequence, for
+    /// any mix of sizes and either discipline.
+    #[test]
+    fn byte_conservation(
+        sizes in prop::collection::vec(1u64..20_000, 1..10),
+        tdm in any::<bool>(),
+    ) {
+        let discipline = if tdm { BusDiscipline::TimeDivision } else { BusDiscipline::PerEngine };
+        let mut bus = Bus::new(0, BusConfig::pci_x().with_discipline(discipline));
+        for t in transfers(&sizes) {
+            bus.add_transfer(SimTime::ZERO, t);
+        }
+        let reqs = drain(&mut bus);
+        for (i, &bytes) in sizes.iter().enumerate() {
+            let tid = i as u64 + 1;
+            let mine: Vec<_> = reqs.iter().filter(|(_, r)| r.transfer == tid).collect();
+            let total: u64 = mine.iter().map(|(_, r)| r.bytes).sum();
+            prop_assert_eq!(total, bytes, "transfer {} byte mismatch", tid);
+            // Sequence numbers are 0..n in order.
+            for (j, (_, r)) in mine.iter().enumerate() {
+                prop_assert_eq!(r.seq, j as u64);
+            }
+            prop_assert!(mine.first().unwrap().1.is_first);
+            prop_assert!(mine.last().unwrap().1.is_last);
+        }
+    }
+
+    /// Per-stream request cadence never exceeds the engine rate: gaps
+    /// between consecutive requests of one transfer are >= the slot period
+    /// (after the first ack).
+    #[test]
+    fn per_stream_cadence_bounded(
+        sizes in prop::collection::vec(64u64..4096, 1..6),
+    ) {
+        let mut bus = Bus::new(0, BusConfig::pci_x());
+        for t in transfers(&sizes) {
+            bus.add_transfer(SimTime::ZERO, t);
+        }
+        let period = BusConfig::pci_x().slot_period();
+        let reqs = drain(&mut bus);
+        for i in 0..sizes.len() {
+            let tid = i as u64 + 1;
+            let times: Vec<SimTime> = reqs
+                .iter()
+                .filter(|(_, r)| r.transfer == tid && !r.is_first)
+                .map(|(t, _)| *t)
+                .collect();
+            for w in times.windows(2) {
+                prop_assert!(w[1] - w[0] >= period, "stream {} too fast", tid);
+            }
+        }
+    }
+
+    /// Under strict TDM the bus never exceeds one request per slot in
+    /// aggregate.
+    #[test]
+    fn tdm_aggregate_rate_bounded(
+        sizes in prop::collection::vec(64u64..2048, 2..6),
+    ) {
+        let mut bus = Bus::new(
+            0,
+            BusConfig::pci_x().with_discipline(BusDiscipline::TimeDivision),
+        );
+        for t in transfers(&sizes) {
+            bus.add_transfer(SimTime::ZERO, t);
+        }
+        let period = BusConfig::pci_x().slot_period();
+        let reqs = drain(&mut bus);
+        for w in reqs.windows(2) {
+            prop_assert!(w[1].0 - w[0].0 >= period, "TDM slot violated");
+        }
+    }
+
+    /// A stream blocked on its first ack never issues further requests.
+    #[test]
+    fn unacked_stream_stays_silent(bytes in 16u64..8192) {
+        let mut bus = Bus::new(0, BusConfig::pci_x());
+        bus.add_transfer(
+            SimTime::ZERO,
+            DmaTransfer::new(1, 0, 0, bytes, DmaDirection::ToMemory, DmaSource::Disk),
+        );
+        match bus.issue(SimTime::ZERO) {
+            IssueOutcome::Issued(r) => prop_assert!(r.is_first),
+            IssueOutcome::Idle => prop_assert!(false, "first request must issue"),
+        }
+        // No ack: the bus must stay idle forever after.
+        for step in 1..50u64 {
+            let t = SimTime::ZERO + SimDuration::from_us(step);
+            prop_assert_eq!(bus.issue(t), IssueOutcome::Idle);
+        }
+        prop_assert_eq!(bus.next_issue_time(SimTime::ZERO + SimDuration::from_ms(1)), None);
+    }
+
+    /// requests_for is exact: ceil division, never losing a byte.
+    #[test]
+    fn requests_for_matches_manual(bytes in 1u64..1_000_000, req in 1u64..512) {
+        let c = BusConfig::pci_x().with_request_bytes(req);
+        let n = c.requests_for(bytes);
+        prop_assert!(n * req >= bytes);
+        prop_assert!((n - 1) * req < bytes);
+    }
+}

@@ -1,0 +1,345 @@
+//! The memory power model: modes, powers, and transition costs.
+
+use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
+
+/// A power mode of a memory chip (paper Section 2.2, RDRAM).
+///
+/// Data is preserved in every mode; only `Active` can serve reads/writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PowerMode {
+    /// Fully operational; the only mode that can serve requests.
+    Active,
+    /// Shallow low-power mode (row/column demux disabled).
+    Standby,
+    /// Deeper low-power mode.
+    Nap,
+    /// Deepest low-power mode; self-refresh only.
+    Powerdown,
+}
+
+impl PowerMode {
+    /// All modes, from shallowest to deepest.
+    pub const ALL: [PowerMode; 4] = [
+        PowerMode::Active,
+        PowerMode::Standby,
+        PowerMode::Nap,
+        PowerMode::Powerdown,
+    ];
+
+    /// The next deeper mode, if any.
+    pub fn deeper(self) -> Option<PowerMode> {
+        match self {
+            PowerMode::Active => Some(PowerMode::Standby),
+            PowerMode::Standby => Some(PowerMode::Nap),
+            PowerMode::Nap => Some(PowerMode::Powerdown),
+            PowerMode::Powerdown => None,
+        }
+    }
+
+    /// True for any mode other than `Active`.
+    pub fn is_low_power(self) -> bool {
+        self != PowerMode::Active
+    }
+}
+
+impl std::fmt::Display for PowerMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PowerMode::Active => "active",
+            PowerMode::Standby => "standby",
+            PowerMode::Nap => "nap",
+            PowerMode::Powerdown => "powerdown",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Power drawn and time taken by one power-mode transition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransitionSpec {
+    /// Power drawn while transitioning, in milliwatts.
+    pub power_mw: f64,
+    /// Transition latency.
+    pub latency: SimDuration,
+}
+
+/// The complete power model of a memory chip: per-mode powers plus
+/// down-transition (`Active -> X`) and wake-up (`X -> Active`) costs, and the
+/// chip's sustained data rate.
+///
+/// [`PowerModel::rdram`] reproduces the paper's Table 1 exactly; the builder
+/// setters support the paper's Section 5.4 sensitivity studies (e.g. a
+/// DDR-SDRAM-like 2.1 GB/s part).
+///
+/// # Example
+///
+/// ```
+/// use mempower::{PowerMode, PowerModel};
+///
+/// let m = PowerModel::rdram();
+/// assert_eq!(m.mode_power_mw(PowerMode::Active), 300.0);
+/// assert_eq!(m.wake(PowerMode::Powerdown).latency.as_ns_f64(), 6000.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    mode_power_mw: [f64; 4],
+    down: [TransitionSpec; 3],
+    wake: [TransitionSpec; 3],
+    bandwidth_bytes_per_sec: f64,
+    chip_bytes: u64,
+}
+
+/// Index of a non-active mode in the transition tables.
+fn low_index(mode: PowerMode) -> usize {
+    match mode {
+        PowerMode::Active => panic!("active mode has no transition entry"),
+        PowerMode::Standby => 0,
+        PowerMode::Nap => 1,
+        PowerMode::Powerdown => 2,
+    }
+}
+
+impl PowerModel {
+    /// The paper's Table 1: 512-Mb 1600 MHz RDRAM.
+    ///
+    /// | state / transition  | power  | time          |
+    /// |---------------------|--------|---------------|
+    /// | active              | 300 mW | —             |
+    /// | standby             | 180 mW | —             |
+    /// | nap                 | 30 mW  | —             |
+    /// | powerdown           | 3 mW   | —             |
+    /// | active → standby    | 240 mW | 1 memory cycle|
+    /// | active → nap        | 160 mW | 8 cycles      |
+    /// | active → powerdown  | 15 mW  | 8 cycles      |
+    /// | standby → active    | 240 mW | +6 ns         |
+    /// | nap → active        | 160 mW | +60 ns        |
+    /// | powerdown → active  | 15 mW  | +6000 ns      |
+    ///
+    /// Memory cycle = 625 ps (1600 MHz); sustained rate 3.2 GB/s; 32-MB chips
+    /// (the paper's 1-GB system uses 32 such chips).
+    pub fn rdram() -> Self {
+        let cycle = SimDuration::from_ps(625);
+        PowerModel {
+            mode_power_mw: [300.0, 180.0, 30.0, 3.0],
+            down: [
+                TransitionSpec { power_mw: 240.0, latency: cycle },
+                TransitionSpec { power_mw: 160.0, latency: cycle * 8 },
+                TransitionSpec { power_mw: 15.0, latency: cycle * 8 },
+            ],
+            wake: [
+                TransitionSpec { power_mw: 240.0, latency: SimDuration::from_ns(6) },
+                TransitionSpec { power_mw: 160.0, latency: SimDuration::from_ns(60) },
+                TransitionSpec { power_mw: 15.0, latency: SimDuration::from_ns(6000) },
+            ],
+            bandwidth_bytes_per_sec: 3.2e9,
+            chip_bytes: 32 * 1024 * 1024,
+        }
+    }
+
+    /// A DDR-SDRAM-like variant used in the Section 5.4 discussion: same
+    /// power structure, 2.1 GB/s sustained rate.
+    pub fn ddr_sdram_like() -> Self {
+        let mut m = PowerModel::rdram();
+        m.bandwidth_bytes_per_sec = 2.1e9;
+        m
+    }
+
+    /// Replaces the sustained data rate (bytes/second).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not strictly positive and finite.
+    pub fn with_bandwidth(mut self, bytes_per_sec: f64) -> Self {
+        assert!(
+            bytes_per_sec > 0.0 && bytes_per_sec.is_finite(),
+            "invalid bandwidth: {bytes_per_sec}"
+        );
+        self.bandwidth_bytes_per_sec = bytes_per_sec;
+        self
+    }
+
+    /// Replaces the chip capacity in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    pub fn with_chip_bytes(mut self, bytes: u64) -> Self {
+        assert!(bytes > 0, "zero-capacity chip");
+        self.chip_bytes = bytes;
+        self
+    }
+
+    /// Replaces the steady-state power of one mode (milliwatts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mw` is negative or not finite.
+    pub fn with_mode_power(mut self, mode: PowerMode, mw: f64) -> Self {
+        assert!(mw >= 0.0 && mw.is_finite(), "invalid power: {mw}");
+        let i = match mode {
+            PowerMode::Active => 0,
+            PowerMode::Standby => 1,
+            PowerMode::Nap => 2,
+            PowerMode::Powerdown => 3,
+        };
+        self.mode_power_mw[i] = mw;
+        self
+    }
+
+    /// Steady-state power of `mode` in milliwatts.
+    pub fn mode_power_mw(&self, mode: PowerMode) -> f64 {
+        match mode {
+            PowerMode::Active => self.mode_power_mw[0],
+            PowerMode::Standby => self.mode_power_mw[1],
+            PowerMode::Nap => self.mode_power_mw[2],
+            PowerMode::Powerdown => self.mode_power_mw[3],
+        }
+    }
+
+    /// Cost of entering `to` from `Active`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is `Active`.
+    pub fn down(&self, to: PowerMode) -> TransitionSpec {
+        self.down[low_index(to)]
+    }
+
+    /// Cost of waking to `Active` from `from`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is `Active`.
+    pub fn wake(&self, from: PowerMode) -> TransitionSpec {
+        self.wake[low_index(from)]
+    }
+
+    /// Sustained data rate in bytes per second.
+    pub fn bandwidth_bytes_per_sec(&self) -> f64 {
+        self.bandwidth_bytes_per_sec
+    }
+
+    /// Chip capacity in bytes.
+    pub fn chip_bytes(&self) -> u64 {
+        self.chip_bytes
+    }
+
+    /// Time for this chip to move `bytes` at its sustained rate.
+    pub fn service_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_bytes_at_rate(bytes, self.bandwidth_bytes_per_sec)
+    }
+
+    /// The idle duration at which sleeping in `mode` breaks even with
+    /// staying active, counting both transition energies (paper Section 2.2
+    /// background; used to choose sane default thresholds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mode` is `Active`.
+    pub fn break_even(&self, mode: PowerMode) -> SimDuration {
+        let down = self.down(mode);
+        let wake = self.wake(mode);
+        let trans_mj = down.power_mw * down.latency.as_secs_f64() * 1e3
+            + wake.power_mw * wake.latency.as_secs_f64() * 1e3;
+        let active_mw = self.mode_power_mw(PowerMode::Active);
+        let saved_mw = active_mw - self.mode_power_mw(mode);
+        assert!(saved_mw > 0.0, "mode saves no power");
+        // Idle time t pays off when saved_mw * t >= trans_mj + the active
+        // energy we would also have spent across the transitions themselves.
+        let secs = trans_mj / 1e3 / saved_mw;
+        SimDuration::from_secs_f64(secs) + down.latency + wake.latency
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel::rdram()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values_exact() {
+        let m = PowerModel::rdram();
+        assert_eq!(m.mode_power_mw(PowerMode::Active), 300.0);
+        assert_eq!(m.mode_power_mw(PowerMode::Standby), 180.0);
+        assert_eq!(m.mode_power_mw(PowerMode::Nap), 30.0);
+        assert_eq!(m.mode_power_mw(PowerMode::Powerdown), 3.0);
+
+        assert_eq!(m.down(PowerMode::Standby).power_mw, 240.0);
+        assert_eq!(m.down(PowerMode::Standby).latency, SimDuration::from_ps(625));
+        assert_eq!(m.down(PowerMode::Nap).power_mw, 160.0);
+        assert_eq!(m.down(PowerMode::Nap).latency, SimDuration::from_ps(5000));
+        assert_eq!(m.down(PowerMode::Powerdown).power_mw, 15.0);
+        assert_eq!(m.down(PowerMode::Powerdown).latency, SimDuration::from_ps(5000));
+
+        assert_eq!(m.wake(PowerMode::Standby).power_mw, 240.0);
+        assert_eq!(m.wake(PowerMode::Standby).latency, SimDuration::from_ns(6));
+        assert_eq!(m.wake(PowerMode::Nap).power_mw, 160.0);
+        assert_eq!(m.wake(PowerMode::Nap).latency, SimDuration::from_ns(60));
+        assert_eq!(m.wake(PowerMode::Powerdown).power_mw, 15.0);
+        assert_eq!(m.wake(PowerMode::Powerdown).latency, SimDuration::from_ns(6000));
+    }
+
+    #[test]
+    fn mode_ordering_and_deeper() {
+        assert!(PowerMode::Active < PowerMode::Standby);
+        assert_eq!(PowerMode::Active.deeper(), Some(PowerMode::Standby));
+        assert_eq!(PowerMode::Standby.deeper(), Some(PowerMode::Nap));
+        assert_eq!(PowerMode::Nap.deeper(), Some(PowerMode::Powerdown));
+        assert_eq!(PowerMode::Powerdown.deeper(), None);
+        assert!(!PowerMode::Active.is_low_power());
+        assert!(PowerMode::Powerdown.is_low_power());
+    }
+
+    #[test]
+    fn service_time_8_bytes_is_4_cycles() {
+        let m = PowerModel::rdram();
+        assert_eq!(m.service_time(8), SimDuration::from_ps(2500));
+    }
+
+    #[test]
+    fn ddr_variant_is_slower() {
+        let m = PowerModel::ddr_sdram_like();
+        assert_eq!(m.bandwidth_bytes_per_sec(), 2.1e9);
+        assert!(m.service_time(8) > PowerModel::rdram().service_time(8));
+    }
+
+    #[test]
+    fn break_even_monotone_in_depth() {
+        let m = PowerModel::rdram();
+        let s = m.break_even(PowerMode::Standby);
+        let n = m.break_even(PowerMode::Nap);
+        let p = m.break_even(PowerMode::Powerdown);
+        assert!(s < n && n < p, "{s} {n} {p}");
+        // Powerdown break-even is dominated by the 6 us wake.
+        assert!(p > SimDuration::from_us(6));
+    }
+
+    #[test]
+    fn builder_setters() {
+        let m = PowerModel::rdram()
+            .with_bandwidth(1.0e9)
+            .with_chip_bytes(1024)
+            .with_mode_power(PowerMode::Nap, 42.0);
+        assert_eq!(m.bandwidth_bytes_per_sec(), 1.0e9);
+        assert_eq!(m.chip_bytes(), 1024);
+        assert_eq!(m.mode_power_mw(PowerMode::Nap), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no transition entry")]
+    fn down_to_active_panics() {
+        let _ = PowerModel::rdram().down(PowerMode::Active);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PowerMode::Active.to_string(), "active");
+        assert_eq!(PowerMode::Powerdown.to_string(), "powerdown");
+    }
+}

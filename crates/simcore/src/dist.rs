@@ -1,0 +1,292 @@
+//! Samplers for the distributions the paper's workloads use.
+//!
+//! * [`Zipf`] — page-popularity skew (the paper's synthetic traces use
+//!   Zipf with alpha = 1).
+//! * [`PoissonProcess`] — DMA-transfer and processor-access arrival streams.
+//! * [`Empirical`] — sampling from an arbitrary weight table, used by the
+//!   OLTP generators to match a measured popularity CDF such as Figure 4.
+
+use crate::rng::DetRng;
+use crate::{SimDuration, SimTime};
+
+/// A Zipf(alpha) distribution over ranks `0..n` (rank 0 most popular).
+///
+/// Sampling is O(log n) via a precomputed cumulative table; construction is
+/// O(n). For the working-set sizes in this workspace (≤ a few hundred
+/// thousand pages) this is exact and fast.
+///
+/// # Example
+///
+/// ```
+/// use simcore::dist::Zipf;
+/// use simcore::rng::DetRng;
+///
+/// let zipf = Zipf::new(1000, 1.0);
+/// let mut rng = DetRng::new(1);
+/// let r = zipf.sample(&mut rng);
+/// assert!(r < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks with exponent `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha` is negative or not finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf over zero ranks");
+        assert!(alpha >= 0.0 && alpha.is_finite(), "invalid alpha: {alpha}");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 0..n {
+            total += 1.0 / ((rank + 1) as f64).powf(alpha);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True if the distribution has a single rank.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws a rank in `0..n` (0 = most popular).
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let u = rng.uniform();
+        // partition_point returns the first index whose cumulative >= u.
+        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+    }
+
+    /// Probability mass of `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        let hi = self.cumulative[rank];
+        let lo = if rank == 0 { 0.0 } else { self.cumulative[rank - 1] };
+        hi - lo
+    }
+
+    /// Cumulative probability of ranks `0..=rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn cdf(&self, rank: usize) -> f64 {
+        self.cumulative[rank]
+    }
+}
+
+/// A Poisson arrival process generating successive event times.
+///
+/// # Example
+///
+/// ```
+/// use simcore::dist::PoissonProcess;
+/// use simcore::rng::DetRng;
+/// use simcore::SimTime;
+///
+/// // 100 arrivals per millisecond on average.
+/// let mut p = PoissonProcess::new(100.0e3);
+/// let mut rng = DetRng::new(5);
+/// let t1 = p.next_arrival(&mut rng);
+/// let t2 = p.next_arrival(&mut rng);
+/// assert!(t2 > t1 && t1 > SimTime::ZERO);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PoissonProcess {
+    mean_gap_secs: f64,
+    now: SimTime,
+}
+
+impl PoissonProcess {
+    /// Creates a process with the given average rate in events per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_per_sec` is not strictly positive and finite.
+    pub fn new(rate_per_sec: f64) -> Self {
+        assert!(
+            rate_per_sec > 0.0 && rate_per_sec.is_finite(),
+            "invalid rate: {rate_per_sec}"
+        );
+        PoissonProcess {
+            mean_gap_secs: 1.0 / rate_per_sec,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Average event rate in events per second.
+    pub fn rate_per_sec(&self) -> f64 {
+        1.0 / self.mean_gap_secs
+    }
+
+    /// Advances the process and returns the next arrival instant.
+    pub fn next_arrival(&mut self, rng: &mut DetRng) -> SimTime {
+        let gap = rng.exponential(self.mean_gap_secs);
+        self.now += SimDuration::from_secs_f64(gap);
+        self.now
+    }
+
+    /// The time of the most recent arrival (simulation start if none yet).
+    pub fn last_arrival(&self) -> SimTime {
+        self.now
+    }
+}
+
+/// An empirical discrete distribution over `0..n`, built from arbitrary
+/// nonnegative weights.
+///
+/// # Example
+///
+/// ```
+/// use simcore::dist::Empirical;
+/// use simcore::rng::DetRng;
+///
+/// let d = Empirical::from_weights(&[3.0, 1.0]);
+/// let mut rng = DetRng::new(9);
+/// let zeros = (0..1000).filter(|_| d.sample(&mut rng) == 0).count();
+/// assert!(zeros > 650 && zeros < 850);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Empirical {
+    cumulative: Vec<f64>,
+}
+
+impl Empirical {
+    /// Builds the distribution from weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn from_weights(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "empty weight table");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut total = 0.0;
+        for &w in weights {
+            assert!(w >= 0.0 && w.is_finite(), "invalid weight: {w}");
+            total += w;
+            cumulative.push(total);
+        }
+        assert!(total > 0.0, "weights sum to zero");
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Empirical { cumulative }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True if there are no outcomes (never; construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws an outcome index.
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let u = rng.uniform();
+        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_alpha1_is_skewed() {
+        let zipf = Zipf::new(10_000, 1.0);
+        // With alpha=1 over 10k ranks, the top 1% of ranks should hold a
+        // disproportionate share (harmonic sums: H(100)/H(10000) ~ 0.53).
+        let share = zipf.cdf(99);
+        assert!(share > 0.45 && share < 0.60, "share {share}");
+    }
+
+    #[test]
+    fn zipf_alpha0_is_uniform() {
+        let zipf = Zipf::new(100, 0.0);
+        for rank in 0..100 {
+            assert!((zipf.pmf(rank) - 0.01).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_sampling_matches_pmf() {
+        let zipf = Zipf::new(50, 1.0);
+        let mut rng = DetRng::new(42);
+        let n = 100_000;
+        let mut counts = [0u32; 50];
+        for _ in 0..n {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        let observed0 = counts[0] as f64 / n as f64;
+        assert!((observed0 - zipf.pmf(0)).abs() < 0.01);
+        // Monotone nonincreasing in expectation: rank 0 >> rank 49.
+        assert!(counts[0] > counts[49] * 5);
+    }
+
+    #[test]
+    fn zipf_cdf_ends_at_one() {
+        let zipf = Zipf::new(7, 1.0);
+        assert!((zipf.cdf(6) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisson_rate_is_close() {
+        let mut p = PoissonProcess::new(1000.0); // 1000/s
+        let mut rng = DetRng::new(8);
+        let mut last = SimTime::ZERO;
+        let n = 10_000;
+        for _ in 0..n {
+            last = p.next_arrival(&mut rng);
+        }
+        let elapsed = last.as_secs_f64();
+        let rate = n as f64 / elapsed;
+        assert!((rate - 1000.0).abs() < 50.0, "rate {rate}");
+    }
+
+    #[test]
+    fn poisson_arrivals_strictly_ordered() {
+        let mut p = PoissonProcess::new(1e6);
+        let mut rng = DetRng::new(3);
+        let mut prev = SimTime::ZERO;
+        for _ in 0..1000 {
+            let t = p.next_arrival(&mut rng);
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn empirical_respects_weights() {
+        let d = Empirical::from_weights(&[0.0, 2.0, 0.0, 2.0]);
+        let mut rng = DetRng::new(4);
+        for _ in 0..1000 {
+            let s = d.sample(&mut rng);
+            assert!(s == 1 || s == 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "weights sum to zero")]
+    fn empirical_zero_weights_panic() {
+        let _ = Empirical::from_weights(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Deterministic future-event list.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+/// One scheduled entry: ordered by time, then by insertion sequence so that
+/// simultaneous events pop in FIFO order (determinism).
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A future-event list for discrete-event simulation.
+///
+/// Events pop in nondecreasing time order; ties break in scheduling (FIFO)
+/// order, which keeps simulations deterministic regardless of heap internals.
+///
+/// # Example
+///
+/// ```
+/// use simcore::{EventQueue, SimDuration, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// let t1 = SimTime::ZERO + SimDuration::from_ns(1);
+/// q.schedule(t1, "b");
+/// q.schedule(t1, "c");
+/// q.schedule(SimTime::ZERO, "a");
+/// let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+/// assert_eq!(order, ["a", "b", "c"]);
+/// ```
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `time`.
+    ///
+    /// Scheduling in the past is allowed at the type level; simulators that
+    /// must forbid it assert on pop (see [`EventQueue::pop`] ordering
+    /// guarantee).
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("len", &self.heap.len())
+            .field("next_time", &self.peek_time())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimDuration;
+
+    fn at(ns: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_ns(ns)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(at(30), 3);
+        q.schedule(at(10), 1);
+        q.schedule(at(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, [1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(at(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        let expect: Vec<i32> = (0..100).collect();
+        assert_eq!(order, expect);
+    }
+
+    #[test]
+    fn peek_len_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(at(7), ());
+        q.schedule(at(3), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(at(3)));
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_is_stable() {
+        let mut q = EventQueue::new();
+        q.schedule(at(1), "a");
+        q.schedule(at(1), "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        q.schedule(at(1), "c");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let q: EventQueue<()> = EventQueue::new();
+        assert!(!format!("{q:?}").is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! Discrete-event simulation substrate for the `dma-aware-mem` workspace.
+//!
+//! This crate provides the building blocks every simulator crate in the
+//! workspace shares:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer picosecond time types, so every
+//!   model (1600 MHz memory cycles, 133 MHz bus slots, microsecond disk
+//!   seeks) composes without rounding surprises.
+//! * [`EventQueue`] — a deterministic future-event list with stable FIFO
+//!   ordering among simultaneous events.
+//! * [`rng::DetRng`] — a seedable, deterministic random-number generator with
+//!   the samplers the workload generators need (exponential inter-arrivals,
+//!   Zipf page popularity).
+//! * [`stats`] — online statistics (mean/variance, histograms, quantiles)
+//!   used for energy and response-time accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use simcore::{EventQueue, SimDuration, SimTime};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule(SimTime::ZERO + SimDuration::from_ns(5), "later");
+//! q.schedule(SimTime::ZERO, "now");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!((t, ev), (SimTime::ZERO, "now"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod event;
+pub mod dist;
+pub mod rng;
+pub mod stats;
+mod time;
+
+pub use event::EventQueue;
+pub use time::{SimDuration, SimTime};

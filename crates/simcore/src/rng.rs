@@ -1,0 +1,187 @@
+//! Deterministic random numbers for workload generation.
+//!
+//! Every simulator entry point takes an explicit `u64` seed; this module
+//! wraps [`rand::rngs::SmallRng`] so no other part of the workspace depends
+//! on `rand`'s API surface directly, and so samplers the paper's workloads
+//! need (exponential inter-arrival times for Poisson processes) live in one
+//! audited place.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random-number generator.
+///
+/// # Example
+///
+/// ```
+/// use simcore::rng::DetRng;
+///
+/// let mut a = DetRng::new(42);
+/// let mut b = DetRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    inner: SmallRng,
+}
+
+impl DetRng {
+    /// Creates a generator from a seed. The same seed always produces the
+    /// same stream.
+    pub fn new(seed: u64) -> Self {
+        DetRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator; used to give each workload
+    /// source (network DMA, disk DMA, processor) its own stream so adding
+    /// one source does not perturb the others.
+    pub fn fork(&mut self, stream: u64) -> DetRng {
+        // Mix the stream id with fresh state so forks are decorrelated.
+        let seed = self.next_u64() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        DetRng::new(seed)
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// A uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        self.inner.gen_range(0..n)
+    }
+
+    /// A uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// An exponentially distributed value with the given mean (for Poisson
+    /// process inter-arrival times).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not strictly positive and finite.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0 && mean.is_finite(), "invalid mean: {mean}");
+        // Inverse CDF; 1 - u avoids ln(0).
+        -mean * (1.0 - self.uniform()).ln()
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.uniform() < p
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(7);
+        let mut b = DetRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut rng = DetRng::new(3);
+        for _ in 0..1000 {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = DetRng::new(11);
+        let n = 20_000;
+        let mean = 5.0;
+        let sum: f64 = (0..n).map(|_| rng.exponential(mean)).sum();
+        let observed = sum / n as f64;
+        assert!((observed - mean).abs() < 0.15, "observed {observed}");
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = DetRng::new(13);
+        for _ in 0..1000 {
+            assert!(rng.below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn forks_are_decorrelated_and_deterministic() {
+        let mut parent1 = DetRng::new(99);
+        let mut parent2 = DetRng::new(99);
+        let mut f1 = parent1.fork(1);
+        let mut f2 = parent2.fork(1);
+        assert_eq!(f1.next_u64(), f2.next_u64());
+
+        let mut parent = DetRng::new(99);
+        let mut a = parent.fork(1);
+        let mut b = parent.fork(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = DetRng::new(17);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        let expect: Vec<u32> = (0..50).collect();
+        assert_eq!(sorted, expect);
+        assert_ne!(v, expect, "50-element shuffle left input unchanged");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = DetRng::new(23);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+}

@@ -1,0 +1,402 @@
+//! Integer picosecond time types.
+//!
+//! All simulators in this workspace share a single clock domain expressed in
+//! picoseconds. A 1600 MHz RDRAM cycle is exactly 625 ps; a 133.3 MHz PCI-X
+//! slot is 7500 ps; disk seeks are milliseconds. `u64` picoseconds cover
+//! ~213 days of simulated time, far beyond any experiment here.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A span of simulated time in picoseconds.
+///
+/// # Example
+///
+/// ```
+/// use simcore::SimDuration;
+///
+/// let cycle = SimDuration::from_ps(625);
+/// assert_eq!(cycle * 4, SimDuration::from_ns(2) + SimDuration::from_ps(500));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        SimDuration(ps)
+    }
+
+    /// Creates a duration from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimDuration(ns * 1_000)
+    }
+
+    /// Creates a duration from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        SimDuration(us * 1_000_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000_000)
+    }
+
+    /// Creates a duration from seconds expressed as a float.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative, NaN, or does not fit in `u64`
+    /// picoseconds.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs >= 0.0 && secs.is_finite() && secs <= u64::MAX as f64 / 1e12,
+            "duration out of range: {secs}"
+        );
+        SimDuration((secs * 1e12).round() as u64)
+    }
+
+    /// The time to move `bytes` bytes at `bytes_per_sec` (rounded to ps).
+    ///
+    /// This is how bus slot periods and chip service times are derived.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is not strictly positive and finite.
+    pub fn from_bytes_at_rate(bytes: u64, bytes_per_sec: f64) -> Self {
+        assert!(
+            bytes_per_sec > 0.0 && bytes_per_sec.is_finite(),
+            "invalid transfer rate: {bytes_per_sec}"
+        );
+        SimDuration::from_secs_f64(bytes as f64 / bytes_per_sec)
+    }
+
+    /// `cycles` periods of a clock running at `hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is not strictly positive and finite.
+    pub fn from_cycles(cycles: u64, hz: f64) -> Self {
+        assert!(hz > 0.0 && hz.is_finite(), "invalid frequency: {hz}");
+        SimDuration::from_secs_f64(cycles as f64 / hz)
+    }
+
+    /// Raw picosecond count.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// The duration in nanoseconds (floating point).
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// The duration in microseconds (floating point).
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// The duration in seconds (floating point).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Saturating subtraction; clamps at zero instead of underflowing.
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// True if this is the zero duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiplies by a float factor, rounding to the nearest picosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or NaN.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        assert!(factor >= 0.0 && factor.is_finite(), "invalid factor: {factor}");
+        SimDuration((self.0 as f64 * factor).round() as u64)
+    }
+
+    /// The ratio of `self` to `other` as a float.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    pub fn ratio(self, other: SimDuration) -> f64 {
+        assert!(!other.is_zero(), "division by zero duration");
+        self.0 as f64 / other.0 as f64
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps == 0 {
+            write!(f, "0s")
+        } else if ps.is_multiple_of(1_000_000_000) {
+            write!(f, "{}ms", ps / 1_000_000_000)
+        } else if ps.is_multiple_of(1_000_000) {
+            write!(f, "{}us", ps / 1_000_000)
+        } else if ps.is_multiple_of(1_000) {
+            write!(f, "{}ns", ps / 1_000)
+        } else {
+            write!(f, "{ps}ps")
+        }
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimDuration subtraction underflow"),
+        )
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Rem<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn rem(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 % rhs.0)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+/// An absolute instant of simulated time (picoseconds since simulation
+/// start).
+///
+/// # Example
+///
+/// ```
+/// use simcore::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_us(3);
+/// assert_eq!(t.elapsed_since(SimTime::ZERO), SimDuration::from_us(3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// A time representing "never"; later than every reachable instant.
+    pub const NEVER: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant at `ps` picoseconds since simulation start.
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Picoseconds since simulation start.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start (floating point).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// The duration from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is after `self`.
+    pub fn elapsed_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("SimTime::elapsed_since with a later instant"),
+        )
+    }
+
+    /// The duration from `earlier` to `self`, zero if `earlier` is later.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", SimDuration(self.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime subtraction underflow"),
+        )
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.elapsed_since(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(SimDuration::from_ns(1).as_ps(), 1_000);
+        assert_eq!(SimDuration::from_us(1).as_ps(), 1_000_000);
+        assert_eq!(SimDuration::from_ms(1).as_ps(), 1_000_000_000);
+        assert_eq!(SimDuration::from_secs_f64(1e-9), SimDuration::from_ns(1));
+    }
+
+    #[test]
+    fn rdram_cycle_is_625ps() {
+        let cycle = SimDuration::from_cycles(1, 1.6e9);
+        assert_eq!(cycle.as_ps(), 625);
+    }
+
+    #[test]
+    fn pcix_8byte_slot_period() {
+        // 1.064 GB/s, 8 bytes => ~7.5188 ns.
+        let slot = SimDuration::from_bytes_at_rate(8, 1.064e9);
+        assert!(slot.as_ns_f64() > 7.51 && slot.as_ns_f64() < 7.53);
+    }
+
+    #[test]
+    fn memory_8byte_service_is_4_cycles() {
+        // Figure 2(a): 3.2 GB/s memory serves an 8-byte request in 4 cycles.
+        let service = SimDuration::from_bytes_at_rate(8, 3.2e9);
+        assert_eq!(service.as_ps(), 4 * 625);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimDuration::from_ns(10);
+        let b = SimDuration::from_ns(4);
+        assert_eq!(a + b, SimDuration::from_ns(14));
+        assert_eq!(a - b, SimDuration::from_ns(6));
+        assert_eq!(a * 3, SimDuration::from_ns(30));
+        assert_eq!(a / 2, SimDuration::from_ns(5));
+        assert_eq!(b.saturating_sub(a), SimDuration::ZERO);
+        assert_eq!(a.ratio(b), 2.5);
+        assert_eq!(a.mul_f64(0.5), SimDuration::from_ns(5));
+    }
+
+    #[test]
+    fn time_ordering_and_ops() {
+        let t0 = SimTime::ZERO;
+        let t1 = t0 + SimDuration::from_ns(5);
+        assert!(t1 > t0);
+        assert_eq!(t1 - t0, SimDuration::from_ns(5));
+        assert_eq!(t1.saturating_since(t1 + SimDuration::from_ns(1)), SimDuration::ZERO);
+        assert_eq!(t0.max(t1), t1);
+        assert_eq!(t0.min(t1), t0);
+        assert!(SimTime::NEVER > t1);
+    }
+
+    #[test]
+    fn display_picks_units() {
+        assert_eq!(SimDuration::from_ns(5).to_string(), "5ns");
+        assert_eq!(SimDuration::from_us(2).to_string(), "2us");
+        assert_eq!(SimDuration::from_ms(7).to_string(), "7ms");
+        assert_eq!(SimDuration::from_ps(3).to_string(), "3ps");
+        assert_eq!(SimDuration::ZERO.to_string(), "0s");
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = SimDuration::from_ns(1) - SimDuration::from_ns(2);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_ns).sum();
+        assert_eq!(total, SimDuration::from_ns(10));
+    }
+}

@@ -1,0 +1,257 @@
+//! Trace event model.
+
+use iobus::{BusId, DmaDirection, DmaSource, PageId};
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimTime};
+
+use crate::popularity::PopularityCdf;
+use crate::stats::TraceStats;
+
+/// One large DMA transfer in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DmaRecord {
+    /// When the transfer starts issuing requests.
+    pub time: SimTime,
+    /// Bus carrying the transfer.
+    pub bus: BusId,
+    /// Logical page moved.
+    pub page: PageId,
+    /// Transfer size in bytes.
+    pub bytes: u64,
+    /// Direction relative to memory.
+    pub direction: DmaDirection,
+    /// Initiating device class.
+    pub source: DmaSource,
+}
+
+/// One processor access (a cache-line fill/writeback) in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcRecord {
+    /// When the access reaches memory.
+    pub time: SimTime,
+    /// Logical page touched.
+    pub page: PageId,
+    /// Access size in bytes (typically one 64-byte cache line).
+    pub bytes: u64,
+}
+
+/// A memory access in a data-server trace: either a DMA transfer or a
+/// processor access (paper Table 2 traces contain both kinds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A DMA transfer.
+    Dma(DmaRecord),
+    /// A processor access.
+    Proc(ProcRecord),
+}
+
+impl TraceEvent {
+    /// The event's timestamp.
+    pub fn time(&self) -> SimTime {
+        match self {
+            TraceEvent::Dma(d) => d.time,
+            TraceEvent::Proc(p) => p.time,
+        }
+    }
+
+    /// The logical page the event touches.
+    pub fn page(&self) -> PageId {
+        match self {
+            TraceEvent::Dma(d) => d.page,
+            TraceEvent::Proc(p) => p.page,
+        }
+    }
+
+    /// True for DMA transfers.
+    pub fn is_dma(&self) -> bool {
+        matches!(self, TraceEvent::Dma(_))
+    }
+}
+
+/// A time-ordered memory access trace.
+///
+/// # Example
+///
+/// ```
+/// use dma_trace::{DmaRecord, Trace, TraceEvent};
+/// use iobus::{DmaDirection, DmaSource};
+/// use simcore::{SimDuration, SimTime};
+///
+/// let e = TraceEvent::Dma(DmaRecord {
+///     time: SimTime::ZERO + SimDuration::from_us(3),
+///     bus: 0,
+///     page: 7,
+///     bytes: 8192,
+///     direction: DmaDirection::FromMemory,
+///     source: DmaSource::Network,
+/// });
+/// let trace = Trace::from_events(vec![e]);
+/// assert_eq!(trace.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Builds a trace, sorting events by time (stable, so simultaneous
+    /// events keep their given order).
+    pub fn from_events(mut events: Vec<TraceEvent>) -> Self {
+        events.sort_by_key(|e| e.time());
+        Trace { events }
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the trace has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over events in time order.
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceEvent> {
+        self.events.iter()
+    }
+
+    /// The events as a slice.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Timestamp of the last event (zero for an empty trace).
+    pub fn duration(&self) -> SimDuration {
+        self.events
+            .last()
+            .map(|e| e.time().elapsed_since(SimTime::ZERO))
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Summary statistics (the rows of the paper's Table 2).
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::from_trace(self)
+    }
+
+    /// The DMA page-popularity CDF (the paper's Figure 4).
+    pub fn popularity_cdf(&self) -> PopularityCdf {
+        PopularityCdf::from_trace(self)
+    }
+
+    /// Merges two traces into one time-ordered trace.
+    pub fn merge(self, other: Trace) -> Trace {
+        let mut events = self.events;
+        events.extend(other.events);
+        Trace::from_events(events)
+    }
+
+    /// A copy containing only events strictly before `cutoff` (useful for
+    /// warm-up splits).
+    pub fn truncated(&self, cutoff: SimTime) -> Trace {
+        Trace {
+            events: self
+                .events
+                .iter()
+                .copied()
+                .take_while(|e| e.time() < cutoff)
+                .collect(),
+        }
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = TraceEvent;
+    type IntoIter = std::vec::IntoIter<TraceEvent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceEvent;
+    type IntoIter = std::slice::Iter<'a, TraceEvent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+impl FromIterator<TraceEvent> for Trace {
+    fn from_iter<I: IntoIterator<Item = TraceEvent>>(iter: I) -> Self {
+        Trace::from_events(iter.into_iter().collect())
+    }
+}
+
+impl Extend<TraceEvent> for Trace {
+    fn extend<I: IntoIterator<Item = TraceEvent>>(&mut self, iter: I) {
+        self.events.extend(iter);
+        self.events.sort_by_key(|e| e.time());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dma_at(us: u64, page: PageId) -> TraceEvent {
+        TraceEvent::Dma(DmaRecord {
+            time: SimTime::ZERO + SimDuration::from_us(us),
+            bus: 0,
+            page,
+            bytes: 8192,
+            direction: DmaDirection::FromMemory,
+            source: DmaSource::Network,
+        })
+    }
+
+    fn proc_at(us: u64, page: PageId) -> TraceEvent {
+        TraceEvent::Proc(ProcRecord {
+            time: SimTime::ZERO + SimDuration::from_us(us),
+            page,
+            bytes: 64,
+        })
+    }
+
+    #[test]
+    fn from_events_sorts_by_time() {
+        let t = Trace::from_events(vec![dma_at(30, 1), proc_at(10, 2), dma_at(20, 3)]);
+        let times: Vec<u64> = t.iter().map(|e| e.time().as_ps() / 1_000_000).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+        assert_eq!(t.duration(), SimDuration::from_us(30));
+    }
+
+    #[test]
+    fn merge_interleaves() {
+        let a = Trace::from_events(vec![dma_at(10, 1), dma_at(30, 1)]);
+        let b = Trace::from_events(vec![proc_at(20, 2)]);
+        let m = a.merge(b);
+        assert_eq!(m.len(), 3);
+        assert!(!m.events()[1].is_dma());
+    }
+
+    #[test]
+    fn truncated_keeps_prefix() {
+        let t = Trace::from_events(vec![dma_at(10, 1), dma_at(20, 2), dma_at(30, 3)]);
+        let cut = t.truncated(SimTime::ZERO + SimDuration::from_us(20));
+        assert_eq!(cut.len(), 1);
+        assert_eq!(cut.events()[0].page(), 1);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut t: Trace = vec![dma_at(5, 1)].into_iter().collect();
+        t.extend(vec![dma_at(1, 2)]);
+        assert_eq!(t.events()[0].page(), 2);
+        let pages: Vec<PageId> = (&t).into_iter().map(|e| e.page()).collect();
+        assert_eq!(pages, vec![2, 1]);
+    }
+
+    #[test]
+    fn empty_trace_duration_zero() {
+        let t = Trace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.duration(), SimDuration::ZERO);
+    }
+}

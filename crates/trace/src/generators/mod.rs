@@ -1,0 +1,80 @@
+//! Workload generators producing the paper's four traces (plus a TPC-H
+//! style extension).
+//!
+//! Each generator is deterministic given `(config, duration, seed)`.
+
+mod oltp;
+mod synthetic;
+mod tpch;
+
+pub use oltp::{OltpDbGen, OltpStGen};
+pub use synthetic::{SyntheticDbGen, SyntheticStorageGen};
+pub use tpch::TpchScanGen;
+
+use simcore::rng::DetRng;
+use simcore::SimDuration;
+
+use crate::event::Trace;
+
+/// A deterministic trace generator.
+pub trait TraceGen {
+    /// Generates a trace covering `[0, duration)` from `seed`.
+    fn generate(&self, duration: SimDuration, seed: u64) -> Trace;
+
+    /// Short workload name (matches the paper's trace names where
+    /// applicable).
+    fn name(&self) -> &'static str;
+}
+
+/// Maps a popularity rank to a page id via a seeded random permutation, so
+/// hot pages are scattered across the address space (as they are in a real
+/// buffer cache) rather than clustered at low page numbers.
+pub(crate) fn rank_permutation(pages: usize, rng: &mut DetRng) -> Vec<u64> {
+    let mut perm: Vec<u64> = (0..pages as u64).collect();
+    rng.shuffle(&mut perm);
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimDuration;
+
+    #[test]
+    fn all_generators_are_deterministic() {
+        let d = SimDuration::from_ms(3);
+        let gens: Vec<Box<dyn TraceGen>> = vec![
+            Box::new(SyntheticStorageGen::default()),
+            Box::new(SyntheticDbGen::default()),
+            Box::new(OltpStGen::default()),
+            Box::new(OltpDbGen::default()),
+            Box::new(TpchScanGen::default()),
+        ];
+        for g in &gens {
+            let a = g.generate(d, 99);
+            let b = g.generate(d, 99);
+            assert_eq!(a, b, "{} not deterministic", g.name());
+            assert!(!a.is_empty(), "{} generated nothing", g.name());
+            let c = g.generate(d, 100);
+            assert_ne!(a, c, "{} ignores its seed", g.name());
+        }
+    }
+
+    #[test]
+    fn events_within_duration_for_dma_starts() {
+        let d = SimDuration::from_ms(2);
+        let t = SyntheticStorageGen::default().generate(d, 5);
+        // Arrivals are generated inside the window (completions may run
+        // past it in the simulator, but start times must not).
+        assert!(t.duration() <= d + SimDuration::from_ms(5));
+    }
+
+    #[test]
+    fn rank_permutation_is_bijective() {
+        let mut rng = simcore::rng::DetRng::new(3);
+        let p = rank_permutation(100, &mut rng);
+        let mut seen = p.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<u64>>());
+    }
+}

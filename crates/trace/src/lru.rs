@@ -1,0 +1,219 @@
+//! An exact O(1) LRU set, used to model server buffer caches.
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    key: u64,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity set with least-recently-used eviction.
+///
+/// # Example
+///
+/// ```
+/// use dma_trace::LruSet;
+///
+/// let mut lru = LruSet::new(2);
+/// assert!(!lru.touch(1)); // miss, inserted
+/// assert!(!lru.touch(2)); // miss, inserted
+/// assert!(lru.touch(1));  // hit
+/// assert!(!lru.touch(3)); // miss, evicts 2
+/// assert!(!lru.contains(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruSet {
+    capacity: usize,
+    map: HashMap<u64, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+}
+
+impl LruSet {
+    /// Creates an empty set holding at most `capacity` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "zero-capacity LRU");
+        LruSet {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            nodes: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Number of resident keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no keys are resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Maximum number of resident keys.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// True if `key` is resident (does not update recency).
+    pub fn contains(&self, key: u64) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Accesses `key`: returns `true` on a hit (recency updated), `false`
+    /// on a miss (the key is inserted, evicting the LRU key if full).
+    pub fn touch(&mut self, key: u64) -> bool {
+        if let Some(&idx) = self.map.get(&key) {
+            if self.head != idx {
+                self.unlink(idx);
+                self.push_front(idx);
+            }
+            return true;
+        }
+        // Miss: insert, evicting if needed.
+        if self.map.len() == self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.unlink(victim);
+            self.map.remove(&self.nodes[victim].key);
+            self.free.push(victim);
+        }
+        let idx = if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = Node {
+                key,
+                prev: NIL,
+                next: NIL,
+            };
+            idx
+        } else {
+            self.nodes.push(Node {
+                key,
+                prev: NIL,
+                next: NIL,
+            });
+            self.nodes.len() - 1
+        };
+        self.push_front(idx);
+        self.map.insert(key, idx);
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eviction_follows_recency() {
+        let mut lru = LruSet::new(3);
+        for k in [1, 2, 3] {
+            assert!(!lru.touch(k));
+        }
+        assert!(lru.touch(1)); // order now 1,3,2 (MRU..LRU)
+        assert!(!lru.touch(4)); // evicts 2
+        assert!(lru.contains(1) && lru.contains(3) && lru.contains(4));
+        assert!(!lru.contains(2));
+        assert_eq!(lru.len(), 3);
+    }
+
+    #[test]
+    fn repeated_touch_keeps_key_hot() {
+        let mut lru = LruSet::new(2);
+        lru.touch(1);
+        lru.touch(2);
+        for _ in 0..10 {
+            assert!(lru.touch(1));
+        }
+        lru.touch(3); // evicts 2, not 1
+        assert!(lru.contains(1));
+        assert!(!lru.contains(2));
+    }
+
+    #[test]
+    fn capacity_one_behaves() {
+        let mut lru = LruSet::new(1);
+        assert!(!lru.touch(5));
+        assert!(lru.touch(5));
+        assert!(!lru.touch(6));
+        assert!(!lru.contains(5));
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn slot_reuse_after_eviction() {
+        let mut lru = LruSet::new(2);
+        for k in 0..100 {
+            lru.touch(k);
+        }
+        // Only two node slots plus the free list churn; internal vector must
+        // not grow past capacity + 1.
+        assert!(lru.nodes.len() <= 3, "nodes grew to {}", lru.nodes.len());
+        assert!(lru.contains(99) && lru.contains(98));
+    }
+
+    #[test]
+    fn hit_ratio_tracks_skew() {
+        // A 90/10 skew over 100 keys with a 10-key cache should hit often.
+        let mut lru = LruSet::new(10);
+        let mut rng = simcore::rng::DetRng::new(7);
+        let mut hits = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            let key = if rng.chance(0.9) {
+                rng.below(10)
+            } else {
+                10 + rng.below(90)
+            };
+            if lru.touch(key) {
+                hits += 1;
+            }
+        }
+        let ratio = hits as f64 / n as f64;
+        assert!(ratio > 0.7, "hit ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_capacity_panics() {
+        let _ = LruSet::new(0);
+    }
+}

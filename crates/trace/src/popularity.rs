@@ -1,0 +1,195 @@
+//! Page-popularity CDF (the paper's Figure 4).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{Trace, TraceEvent};
+
+/// The cumulative distribution of DMA accesses over pages, pages ordered
+/// from most to least popular: point `(x, y)` means the hottest `x` fraction
+/// of pages receives `y` fraction of DMA accesses.
+///
+/// The paper's Figure 4 shows ~20 % of pages receiving ~60 % of accesses
+/// for the OLTP storage workload.
+///
+/// # Example
+///
+/// ```
+/// use dma_trace::{OltpStGen, TraceGen};
+/// use simcore::SimDuration;
+///
+/// let gen = OltpStGen { pages: 2048, cache_pages: 680, ..Default::default() };
+/// let trace = gen.generate(SimDuration::from_ms(100), 1);
+/// let cdf = trace.popularity_cdf();
+/// // Skewed: the top 20% of pages get far more than 20% of accesses.
+/// assert!(cdf.share_of_top(0.2) > 0.35);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PopularityCdf {
+    /// Per-page DMA access counts, most popular first.
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl PopularityCdf {
+    /// Builds the CDF from the DMA accesses of `trace` (processor accesses
+    /// are excluded, matching Figure 4's "DMA transfer workload").
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut by_page: HashMap<u64, u64> = HashMap::new();
+        for e in trace {
+            if let TraceEvent::Dma(d) = e {
+                *by_page.entry(d.page).or_insert(0) += 1;
+            }
+        }
+        let mut counts: Vec<u64> = by_page.into_values().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let total = counts.iter().sum();
+        PopularityCdf { counts, total }
+    }
+
+    /// Number of distinct pages.
+    pub fn pages(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total DMA accesses counted.
+    pub fn total_accesses(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of all DMA accesses received by the hottest `frac` of pages
+    /// (`frac` in `[0, 1]`). Returns 0 for an empty CDF.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac` is outside `[0, 1]`.
+    pub fn share_of_top(&self, frac: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&frac), "fraction out of range: {frac}");
+        if self.total == 0 {
+            return 0.0;
+        }
+        let k = ((self.counts.len() as f64 * frac).round() as usize).min(self.counts.len());
+        let top: u64 = self.counts[..k].iter().sum();
+        top as f64 / self.total as f64
+    }
+
+    /// The smallest fraction of pages that covers at least `share` of
+    /// accesses (e.g. `coverage(0.6)` answers "how many pages hold 60 % of
+    /// the traffic").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `share` is outside `[0, 1]`.
+    pub fn coverage(&self, share: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&share), "share out of range: {share}");
+        if self.total == 0 || self.counts.is_empty() {
+            return 0.0;
+        }
+        let target = share * self.total as f64;
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc as f64 >= target {
+                return (i + 1) as f64 / self.counts.len() as f64;
+            }
+        }
+        1.0
+    }
+
+    /// Sampled CDF points `(pages_frac, accesses_frac)` for plotting
+    /// Figure 4 (`n` evenly spaced x values, plus the endpoint).
+    pub fn points(&self, n: usize) -> Vec<(f64, f64)> {
+        let n = n.max(1);
+        (0..=n)
+            .map(|i| {
+                let x = i as f64 / n as f64;
+                (x, self.share_of_top(x))
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for PopularityCdf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} pages, {} accesses; top 10%/20%/50% of pages -> {:.0}%/{:.0}%/{:.0}% of accesses",
+            self.pages(),
+            self.total_accesses(),
+            self.share_of_top(0.1) * 100.0,
+            self.share_of_top(0.2) * 100.0,
+            self.share_of_top(0.5) * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::DmaRecord;
+    use iobus::{DmaDirection, DmaSource};
+    use simcore::{SimDuration, SimTime};
+
+    fn trace_with_counts(counts: &[(u64, u64)]) -> Trace {
+        let mut events = Vec::new();
+        let mut t = 0u64;
+        for &(page, n) in counts {
+            for _ in 0..n {
+                events.push(TraceEvent::Dma(DmaRecord {
+                    time: SimTime::ZERO + SimDuration::from_ns(t),
+                    bus: 0,
+                    page,
+                    bytes: 8192,
+                    direction: DmaDirection::FromMemory,
+                    source: DmaSource::Network,
+                }));
+                t += 1;
+            }
+        }
+        Trace::from_events(events)
+    }
+
+    #[test]
+    fn share_of_top_orders_by_popularity() {
+        // 4 pages with counts 70, 20, 5, 5.
+        let cdf = trace_with_counts(&[(0, 5), (1, 70), (2, 20), (3, 5)]).popularity_cdf();
+        assert_eq!(cdf.pages(), 4);
+        assert_eq!(cdf.total_accesses(), 100);
+        assert!((cdf.share_of_top(0.25) - 0.70).abs() < 1e-12);
+        assert!((cdf.share_of_top(0.5) - 0.90).abs() < 1e-12);
+        assert!((cdf.share_of_top(1.0) - 1.0).abs() < 1e-12);
+        assert_eq!(cdf.share_of_top(0.0), 0.0);
+    }
+
+    #[test]
+    fn coverage_inverts_share() {
+        let cdf = trace_with_counts(&[(0, 70), (1, 20), (2, 5), (3, 5)]).popularity_cdf();
+        assert!((cdf.coverage(0.6) - 0.25).abs() < 1e-12);
+        assert!((cdf.coverage(0.9) - 0.5).abs() < 1e-12);
+        assert!((cdf.coverage(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_popularity_is_diagonal() {
+        let cdf = trace_with_counts(&[(0, 10), (1, 10), (2, 10), (3, 10)]).popularity_cdf();
+        for (x, y) in cdf.points(4) {
+            assert!((x - y).abs() < 1e-9, "({x}, {y}) off diagonal");
+        }
+    }
+
+    #[test]
+    fn empty_trace_cdf() {
+        let cdf = Trace::default().popularity_cdf();
+        assert_eq!(cdf.pages(), 0);
+        assert_eq!(cdf.share_of_top(0.5), 0.0);
+        assert_eq!(cdf.coverage(0.5), 0.0);
+    }
+
+    #[test]
+    fn display_shows_shares() {
+        let cdf = trace_with_counts(&[(0, 3), (1, 1)]).popularity_cdf();
+        assert!(cdf.to_string().contains("pages"));
+    }
+}

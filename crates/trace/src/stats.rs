@@ -1,0 +1,189 @@
+//! Trace summary statistics (the paper's Table 2 rows).
+
+use std::fmt;
+
+use iobus::DmaSource;
+use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
+
+use crate::event::{Trace, TraceEvent};
+
+/// Arrival-rate and volume statistics of a trace.
+///
+/// # Example
+///
+/// ```
+/// use dma_trace::{SyntheticDbGen, TraceGen};
+/// use simcore::SimDuration;
+///
+/// let trace = SyntheticDbGen::default().generate(SimDuration::from_ms(2), 7);
+/// let s = trace.stats();
+/// assert!(s.proc_accesses > 0);
+/// assert!(s.network_rate_per_ms() > 0.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Trace length (time of the last event).
+    pub duration: SimDuration,
+    /// Number of network DMA transfers.
+    pub network_transfers: u64,
+    /// Number of disk DMA transfers.
+    pub disk_transfers: u64,
+    /// Number of processor accesses.
+    pub proc_accesses: u64,
+    /// Total bytes moved by DMA transfers.
+    pub dma_bytes: u64,
+    /// Number of distinct pages touched by DMAs.
+    pub distinct_dma_pages: u64,
+}
+
+impl TraceStats {
+    /// Computes statistics for `trace`.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut s = TraceStats {
+            duration: trace.duration(),
+            ..TraceStats::default()
+        };
+        let mut pages: Vec<u64> = Vec::new();
+        for e in trace {
+            match e {
+                TraceEvent::Dma(d) => {
+                    match d.source {
+                        DmaSource::Network => s.network_transfers += 1,
+                        DmaSource::Disk => s.disk_transfers += 1,
+                    }
+                    s.dma_bytes += d.bytes;
+                    pages.push(d.page);
+                }
+                TraceEvent::Proc(_) => s.proc_accesses += 1,
+            }
+        }
+        pages.sort_unstable();
+        pages.dedup();
+        s.distinct_dma_pages = pages.len() as u64;
+        s
+    }
+
+    /// Total DMA transfers (network + disk).
+    pub fn dma_transfers(&self) -> u64 {
+        self.network_transfers + self.disk_transfers
+    }
+
+    fn per_ms(&self, count: u64) -> f64 {
+        let ms = self.duration.as_secs_f64() * 1e3;
+        if ms == 0.0 {
+            0.0
+        } else {
+            count as f64 / ms
+        }
+    }
+
+    /// DMA transfers per millisecond.
+    pub fn dma_rate_per_ms(&self) -> f64 {
+        self.per_ms(self.dma_transfers())
+    }
+
+    /// Network DMA transfers per millisecond (paper: OLTP-St = 45.0,
+    /// OLTP-Db = 100.0).
+    pub fn network_rate_per_ms(&self) -> f64 {
+        self.per_ms(self.network_transfers)
+    }
+
+    /// Disk DMA transfers per millisecond (paper: OLTP-St = 16.7).
+    pub fn disk_rate_per_ms(&self) -> f64 {
+        self.per_ms(self.disk_transfers)
+    }
+
+    /// Processor accesses per millisecond (paper: OLTP-Db = 23,300).
+    pub fn proc_rate_per_ms(&self) -> f64 {
+        self.per_ms(self.proc_accesses)
+    }
+
+    /// Average processor accesses per DMA transfer (paper: OLTP-Db ≈ 233).
+    pub fn proc_accesses_per_transfer(&self) -> f64 {
+        let dmas = self.dma_transfers();
+        if dmas == 0 {
+            0.0
+        } else {
+            self.proc_accesses as f64 / dmas as f64
+        }
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "duration {} | net {:.1}/ms | disk {:.1}/ms | proc {:.0}/ms ({:.0}/transfer) | {} distinct DMA pages",
+            self.duration,
+            self.network_rate_per_ms(),
+            self.disk_rate_per_ms(),
+            self.proc_rate_per_ms(),
+            self.proc_accesses_per_transfer(),
+            self.distinct_dma_pages
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DmaRecord, ProcRecord};
+    use iobus::DmaDirection;
+    use simcore::SimTime;
+
+    fn build() -> Trace {
+        let mut events = Vec::new();
+        for i in 0..10u64 {
+            events.push(TraceEvent::Dma(DmaRecord {
+                time: SimTime::ZERO + SimDuration::from_us(i * 100),
+                bus: 0,
+                page: i % 3,
+                bytes: 8192,
+                direction: DmaDirection::FromMemory,
+                source: if i % 5 == 0 {
+                    DmaSource::Disk
+                } else {
+                    DmaSource::Network
+                },
+            }));
+        }
+        for i in 0..20u64 {
+            events.push(TraceEvent::Proc(ProcRecord {
+                time: SimTime::ZERO + SimDuration::from_us(i * 50),
+                page: 1,
+                bytes: 64,
+            }));
+        }
+        Trace::from_events(events)
+    }
+
+    #[test]
+    fn counts_and_rates() {
+        let s = build().stats();
+        assert_eq!(s.network_transfers, 8);
+        assert_eq!(s.disk_transfers, 2);
+        assert_eq!(s.proc_accesses, 20);
+        assert_eq!(s.dma_transfers(), 10);
+        assert_eq!(s.distinct_dma_pages, 3);
+        assert_eq!(s.dma_bytes, 10 * 8192);
+        assert!((s.proc_accesses_per_transfer() - 2.0).abs() < 1e-12);
+        // Duration = 950 us => ~10.5 transfers/ms.
+        assert!((s.dma_rate_per_ms() - 10.0 / 0.95).abs() < 0.01);
+    }
+
+    #[test]
+    fn empty_trace_rates_are_zero() {
+        let s = Trace::default().stats();
+        assert_eq!(s.dma_rate_per_ms(), 0.0);
+        assert_eq!(s.proc_accesses_per_transfer(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_rates() {
+        let s = build().stats();
+        let txt = s.to_string();
+        assert!(txt.contains("/ms"));
+        assert!(txt.contains("distinct"));
+    }
+}

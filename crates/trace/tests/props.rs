@@ -1,0 +1,116 @@
+//! Property tests for trace generation and serialization.
+
+use dma_trace::{
+    OltpDbGen, OltpStGen, SyntheticDbGen, SyntheticStorageGen, TpchScanGen, Trace, TraceGen,
+};
+use proptest::prelude::*;
+use simcore::SimDuration;
+
+fn generators() -> Vec<Box<dyn TraceGen>> {
+    vec![
+        Box::new(SyntheticStorageGen {
+            pages: 2048,
+            ..Default::default()
+        }),
+        Box::new(SyntheticDbGen {
+            pages: 2048,
+            proc_per_transfer: 10.0,
+            ..Default::default()
+        }),
+        Box::new(OltpStGen {
+            pages: 2048,
+            cache_pages: 700,
+            disks: 64,
+            ..Default::default()
+        }),
+        Box::new(OltpDbGen {
+            pages: 2048,
+            proc_per_transfer: 10.0,
+            ..Default::default()
+        }),
+        Box::new(TpchScanGen {
+            pages: 2048,
+            ..Default::default()
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every generator produces time-ordered events on valid pages/buses,
+    /// deterministically per seed, and survives a text round-trip.
+    #[test]
+    fn generator_output_is_well_formed(seed in 0u64..300, which in 0usize..5) {
+        let gen = &generators()[which];
+        let t = gen.generate(SimDuration::from_ms(2), seed);
+        // Ordered.
+        let mut prev = simcore::SimTime::ZERO;
+        for e in &t {
+            prop_assert!(e.time() >= prev, "{} unordered", gen.name());
+            prev = e.time();
+            prop_assert!(e.page() < 2048, "{} page out of range", gen.name());
+            if let dma_trace::TraceEvent::Dma(d) = e {
+                prop_assert!(d.bus < 3, "{} bus out of range", gen.name());
+                prop_assert!(d.bytes > 0);
+            }
+        }
+        // Deterministic.
+        prop_assert_eq!(&t, &gen.generate(SimDuration::from_ms(2), seed));
+        // Round-trips through the text format.
+        let mut buf = Vec::new();
+        t.write_text(&mut buf).unwrap();
+        let back = Trace::read_text(buf.as_slice()).unwrap();
+        prop_assert_eq!(t, back);
+    }
+
+    /// Rates scale linearly with the configured arrival rate.
+    #[test]
+    fn synthetic_rate_scales(rate in 20.0f64..300.0, seed in 0u64..100) {
+        let gen = SyntheticStorageGen {
+            transfers_per_ms: rate,
+            pages: 2048,
+            ..Default::default()
+        };
+        let s = gen.generate(SimDuration::from_ms(5), seed).stats();
+        let measured = s.dma_rate_per_ms();
+        prop_assert!(
+            (measured - rate).abs() < rate * 0.35 + 5.0,
+            "asked {rate}, measured {measured}"
+        );
+    }
+
+    /// Popularity skew grows with the Zipf exponent.
+    #[test]
+    fn skew_tracks_alpha(seed in 0u64..100) {
+        let share = |alpha: f64| {
+            let gen = SyntheticStorageGen {
+                zipf_alpha: alpha,
+                pages: 512,
+                ..Default::default()
+            };
+            gen.generate(SimDuration::from_ms(10), seed)
+                .popularity_cdf()
+                .share_of_top(0.1)
+        };
+        let flat = share(0.0);
+        let skewed = share(1.2);
+        prop_assert!(skewed > flat, "skewed {skewed} <= flat {flat}");
+    }
+
+    /// The stats rates are internally consistent with raw counts.
+    #[test]
+    fn stats_rates_consistent(seed in 0u64..200) {
+        let gen = SyntheticDbGen {
+            pages: 2048,
+            proc_per_transfer: 25.0,
+            ..Default::default()
+        };
+        let t = gen.generate(SimDuration::from_ms(3), seed);
+        let s = t.stats();
+        prop_assert_eq!(s.dma_transfers(), s.network_transfers + s.disk_transfers);
+        let ms = s.duration.as_secs_f64() * 1e3;
+        prop_assume!(ms > 0.0);
+        prop_assert!((s.dma_rate_per_ms() - s.dma_transfers() as f64 / ms).abs() < 1e-9);
+    }
+}

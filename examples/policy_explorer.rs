@@ -1,0 +1,73 @@
+//! Policy explorer: how the pieces under the DMA-aware techniques behave.
+//!
+//! Sweeps the low-level power-management policy (the layer the paper builds
+//! on), the bus discipline, and the DMA-memory request granularity, and
+//! prints a comparison matrix — useful for understanding which knobs matter
+//! before reaching for DMA-TA/PL.
+//!
+//! ```text
+//! cargo run --release --example policy_explorer
+//! ```
+
+use dma_trace::{SyntheticStorageGen, TraceGen};
+use dmamem::{PolicyKind, Scheme, ServerSimulator, SystemConfig};
+use iobus::{BusConfig, BusDiscipline};
+use mempower::{EnergyCategory, PowerMode};
+use simcore::SimDuration;
+
+fn main() {
+    let trace = SyntheticStorageGen::default().generate(SimDuration::from_ms(5), 3);
+    println!("workload: {}\n", trace.stats());
+
+    println!("low-level policy comparison (no DMA-aware techniques):");
+    println!("policy               total mJ   low-power%   transitions%   wakes");
+    for (label, policy) in [
+        ("always-active", PolicyKind::AlwaysActive),
+        ("static standby", PolicyKind::Static(PowerMode::Standby)),
+        ("static nap", PolicyKind::Static(PowerMode::Nap)),
+        ("static powerdown", PolicyKind::Static(PowerMode::Powerdown)),
+        ("dynamic (Lebeck)", PolicyKind::Dynamic { scale: 1.0 }),
+        ("dynamic x4 thresholds", PolicyKind::Dynamic { scale: 4.0 }),
+        ("self-tuning", PolicyKind::SelfTuning),
+    ] {
+        let config = SystemConfig {
+            policy,
+            ..SystemConfig::default()
+        };
+        let r = ServerSimulator::new(config, Scheme::baseline()).run(&trace);
+        println!(
+            "{:<20} {:>8.3}   {:>9.1}%   {:>11.1}%   {:>5}",
+            label,
+            r.energy.total_mj(),
+            r.energy.fraction(EnergyCategory::LowPower) * 100.0,
+            r.energy.fraction(EnergyCategory::Transition) * 100.0,
+            r.wakes
+        );
+    }
+
+    println!("\nbus discipline and request granularity (dynamic policy):");
+    println!("discipline    request   total mJ   uf");
+    for (dl, d) in [
+        ("per-engine", BusDiscipline::PerEngine),
+        ("strict-TDM", BusDiscipline::TimeDivision),
+    ] {
+        for bytes in [8u64, 64] {
+            let config = SystemConfig::default()
+                .with_buses(3, BusConfig::pci_x().with_discipline(d).with_request_bytes(bytes));
+            let r = ServerSimulator::new(config, Scheme::baseline()).run(&trace);
+            println!(
+                "{:<12} {:>6}B   {:>8.3}   {:.3}",
+                dl,
+                bytes,
+                r.energy.total_mj(),
+                r.utilization_factor()
+            );
+        }
+    }
+
+    println!(
+        "\nTakeaway: the dynamic policy already minimizes threshold waste; the\n\
+         remaining Active-Idle-DMA energy is what DMA-TA and PL recover (see\n\
+         the quickstart and storage_server examples)."
+    );
+}

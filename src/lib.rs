@@ -1,0 +1,46 @@
+//! `dma-aware-mem` — a full Rust reproduction of *"DMA-Aware Memory Energy
+//! Management"* (Pandey, Jiang, Zhou, Bianchini — HPCA 2006).
+//!
+//! This facade crate re-exports the workspace's building blocks so an
+//! application can depend on a single crate:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `dmamem` | DMA-TA, PL, the server simulator, experiments |
+//! | [`power`] | `mempower` | RDRAM power model, chips, low-level policies |
+//! | [`bus`] | `iobus` | PCI-X-style buses and DMA request pacing |
+//! | [`disk`] | `disksim` | analytic disk/array timing model |
+//! | [`workloads`] | `dma-trace` | traces and calibrated workload generators |
+//! | [`sim`] | `simcore` | event queue, time types, RNG, statistics |
+//!
+//! # Example
+//!
+//! ```
+//! use dma_aware_mem::core::{Scheme, ServerSimulator, SystemConfig};
+//! use dma_aware_mem::workloads::{SyntheticStorageGen, TraceGen};
+//! use dma_aware_mem::sim::SimDuration;
+//!
+//! let trace = SyntheticStorageGen::default().generate(SimDuration::from_ms(2), 1);
+//! let result = ServerSimulator::new(SystemConfig::default(), Scheme::baseline()).run(&trace);
+//! assert!(result.transfers > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+/// The paper's contribution: controller schemes, simulator, experiments.
+pub use dmamem as core;
+
+/// Multi-power-mode DRAM modelling.
+pub use mempower as power;
+
+/// I/O buses and DMA request pacing.
+pub use iobus as bus;
+
+/// Disk and disk-array timing.
+pub use disksim as disk;
+
+/// Traces and workload generators.
+pub use dma_trace as workloads;
+
+/// Discrete-event simulation substrate.
+pub use simcore as sim;

@@ -1,0 +1,150 @@
+//! Cross-crate integration tests: trace generators feeding the full
+//! simulator through the facade crate, exercising every workload and
+//! scheme end to end.
+
+use dma_aware_mem::core::experiments::{client_degradation, mu_from_baseline, Workload};
+use dma_aware_mem::core::{Scheme, ServerSimulator, SystemConfig};
+use dma_aware_mem::power::EnergyCategory;
+use dma_aware_mem::sim::SimDuration;
+use dma_aware_mem::workloads::Trace;
+
+fn short(w: Workload) -> Trace {
+    w.generate(SimDuration::from_ms(3), 99)
+}
+
+#[test]
+fn every_workload_completes_under_every_scheme() {
+    let config = SystemConfig::default();
+    for w in Workload::ALL {
+        let trace = short(w);
+        let dma_events = trace.stats().dma_transfers();
+        for scheme in [
+            Scheme::baseline(),
+            Scheme::dma_ta(0.5),
+            Scheme::dma_ta_pl(0.5, 2),
+            Scheme::dma_ta_pl(0.5, 3),
+            Scheme::dma_ta_pl(0.5, 6),
+        ] {
+            let r = ServerSimulator::new(config.clone(), scheme).run(&trace);
+            assert_eq!(
+                r.transfers, dma_events,
+                "{} lost transfers under {}",
+                w.label(),
+                r.scheme
+            );
+            assert!(r.energy.total_mj() > 0.0);
+            let uf = r.utilization_factor();
+            assert!((0.0..=1.0 + 1e-9).contains(&uf), "uf {uf} out of range");
+        }
+    }
+}
+
+#[test]
+fn simulation_is_deterministic_through_the_facade() {
+    let config = SystemConfig::default();
+    let trace = short(Workload::SyntheticSt);
+    let a = ServerSimulator::new(config.clone(), Scheme::dma_ta_pl(0.7, 2)).run(&trace);
+    let b = ServerSimulator::new(config, Scheme::dma_ta_pl(0.7, 2)).run(&trace);
+    assert_eq!(a.energy, b.energy);
+    assert_eq!(a.per_chip_mj, b.per_chip_mj);
+    assert_eq!(a.dma_requests, b.dma_requests);
+    assert_eq!(a.page_moves, b.page_moves);
+    assert_eq!(a.horizon, b.horizon);
+}
+
+#[test]
+fn trace_io_roundtrip_preserves_simulation_results() {
+    let trace = short(Workload::OltpSt);
+    let mut buf = Vec::new();
+    trace.write_text(&mut buf).expect("serialize");
+    let back = Trace::read_text(buf.as_slice()).expect("parse");
+    assert_eq!(trace, back);
+
+    let config = SystemConfig::default();
+    let a = ServerSimulator::new(config.clone(), Scheme::baseline()).run(&trace);
+    let b = ServerSimulator::new(config, Scheme::baseline()).run(&back);
+    assert_eq!(a.energy, b.energy);
+}
+
+#[test]
+fn dma_ta_pl_saves_energy_within_budget_on_storage_workloads() {
+    let config = SystemConfig::default();
+    for w in [Workload::SyntheticSt, Workload::OltpSt] {
+        let trace = w.generate(SimDuration::from_ms(8), 5);
+        let baseline = ServerSimulator::new(config.clone(), Scheme::baseline()).run(&trace);
+        let extra = w.client_extra_latency();
+        let cp = 0.10;
+        let mu = mu_from_baseline(&config, &baseline, cp, extra);
+        let r = ServerSimulator::new(config.clone(), Scheme::dma_ta_pl(mu, 2)).run(&trace);
+        let savings = r.savings_vs(&baseline);
+        assert!(
+            savings > 0.05,
+            "{}: expected >5% savings, got {:.1}%",
+            w.label(),
+            savings * 100.0
+        );
+        let deg = client_degradation(&r, &baseline, extra);
+        assert!(
+            deg <= cp + 0.03,
+            "{}: degradation {:.1}% blew the 10% budget",
+            w.label(),
+            deg * 100.0
+        );
+    }
+}
+
+#[test]
+fn higher_cp_limit_never_reduces_utilization() {
+    let config = SystemConfig::default();
+    let trace = short(Workload::SyntheticSt);
+    let baseline = ServerSimulator::new(config.clone(), Scheme::baseline()).run(&trace);
+    let extra = Workload::SyntheticSt.client_extra_latency();
+    let mut last_uf = baseline.utilization_factor();
+    for cp in [0.02, 0.10, 0.30] {
+        let mu = mu_from_baseline(&config, &baseline, cp, extra);
+        let r = ServerSimulator::new(config.clone(), Scheme::dma_ta(mu)).run(&trace);
+        let uf = r.utilization_factor();
+        assert!(
+            uf >= last_uf - 0.05,
+            "uf regressed at cp {cp}: {uf} < {last_uf}"
+        );
+        last_uf = last_uf.max(uf);
+    }
+}
+
+#[test]
+fn migration_energy_appears_only_with_pl() {
+    let config = SystemConfig::default();
+    // Long enough to cross at least one PL reorganization interval (5 ms).
+    let trace = Workload::SyntheticSt.generate(SimDuration::from_ms(8), 99);
+    let ta = ServerSimulator::new(config.clone(), Scheme::dma_ta(0.5)).run(&trace);
+    assert_eq!(ta.energy.energy_mj(EnergyCategory::Migration), 0.0);
+    assert_eq!(ta.page_moves, 0);
+    let pl = ServerSimulator::new(config, Scheme::dma_ta_pl(0.5, 2)).run(&trace);
+    assert!(pl.page_moves > 0);
+    assert!(pl.energy.energy_mj(EnergyCategory::Migration) > 0.0);
+}
+
+#[test]
+fn database_workloads_serve_all_processor_accesses() {
+    let config = SystemConfig::default();
+    for w in [Workload::OltpDb, Workload::SyntheticDb] {
+        let trace = short(w);
+        let expected = trace.stats().proc_accesses;
+        let r = ServerSimulator::new(config.clone(), Scheme::dma_ta_pl(0.5, 2)).run(&trace);
+        assert_eq!(r.proc_accesses, expected, "{} lost proc accesses", w.label());
+    }
+}
+
+#[test]
+fn energy_total_equals_sum_of_chips() {
+    let config = SystemConfig::default();
+    let trace = short(Workload::OltpSt);
+    let r = ServerSimulator::new(config, Scheme::dma_ta_pl(0.5, 2)).run(&trace);
+    let sum: f64 = r.per_chip_mj.iter().sum();
+    assert!(
+        (sum - r.energy.total_mj()).abs() < 1e-9,
+        "per-chip sum {sum} != total {}",
+        r.energy.total_mj()
+    );
+}

@@ -34,7 +34,12 @@ fn run(config: &SystemConfig, scheme: Scheme) -> dmamem::SimResult {
 
 fn mu_at_10pct(config: &SystemConfig) -> f64 {
     let base = run(config, Scheme::baseline());
-    mu_from_baseline(config, &base, 0.10, Workload::SyntheticSt.client_extra_latency())
+    mu_from_baseline(
+        config,
+        &base,
+        0.10,
+        Workload::SyntheticSt.client_extra_latency(),
+    )
 }
 
 fn ablate_thresholds() {
@@ -50,7 +55,11 @@ fn ablate_thresholds() {
             ..paper_system()
         };
         let r = run(&config, Scheme::baseline());
-        println!("  {label:<13} {:>8.3} mJ (uf {:.2})", r.energy.total_mj(), r.utilization_factor());
+        println!(
+            "  {label:<13} {:>8.3} mJ (uf {:.2})",
+            r.energy.total_mj(),
+            r.utilization_factor()
+        );
     }
 }
 
@@ -68,7 +77,10 @@ fn ablate_epoch() {
             pl: None,
         };
         let r = run(&config, scheme);
-        println!("  epoch {us:>2} us: savings {:+.1}%", r.savings_vs(&base) * 100.0);
+        println!(
+            "  epoch {us:>2} us: savings {:+.1}%",
+            r.savings_vs(&base) * 100.0
+        );
     }
 }
 
@@ -77,7 +89,10 @@ fn ablate_granularity() {
     for bytes in [8u64, 64] {
         let config = paper_system().with_buses(3, BusConfig::pci_x().with_request_bytes(bytes));
         let r = run(&config, Scheme::baseline());
-        println!("  {bytes:>2}-byte requests: uf {:.3}", r.utilization_factor());
+        println!(
+            "  {bytes:>2}-byte requests: uf {:.3}",
+            r.utilization_factor()
+        );
     }
 }
 
@@ -89,7 +104,11 @@ fn ablate_discipline() {
     ] {
         let config = paper_system().with_buses(3, BusConfig::pci_x().with_discipline(d));
         let r = run(&config, Scheme::baseline());
-        println!("  {label}: {:>8.3} mJ (uf {:.2})", r.energy.total_mj(), r.utilization_factor());
+        println!(
+            "  {label}: {:>8.3} mJ (uf {:.2})",
+            r.energy.total_mj(),
+            r.utilization_factor()
+        );
     }
 }
 
@@ -132,7 +151,9 @@ fn ablate_pl_p() {
 }
 
 fn ablate_migration_chunking() {
-    println!("--- ablation: migration chunk size (Section 4.2.2 hiding; DMA-TA-PL(2) at 10% CP) ---");
+    println!(
+        "--- ablation: migration chunk size (Section 4.2.2 hiding; DMA-TA-PL(2) at 10% CP) ---"
+    );
     let config = paper_system();
     let base = run(&config, Scheme::baseline());
     let mu = mu_at_10pct(&config);

@@ -6,7 +6,10 @@ use dmamem::experiments::{fig7, ExpConfig};
 
 fn bench(c: &mut Criterion) {
     let exp = ExpConfig::quick();
-    println!("fig7 (quick):\n{}", fig7_table(&fig7(exp, &[0.05, 0.10, 0.30])));
+    println!(
+        "fig7 (quick):\n{}",
+        fig7_table(&fig7(exp, &[0.05, 0.10, 0.30]))
+    );
     c.bench_function("fig7_uf_sweep", |b| b.iter(|| fig7(exp, &[0.10])));
 }
 

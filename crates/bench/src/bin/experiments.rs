@@ -9,6 +9,12 @@
 //! trace length per run (default 50), `--seed` the workload seed (default
 //! 42), and `--csv DIR` additionally writes each figure's data as CSV files
 //! into `DIR` for replotting.
+//!
+//! Observability flags add an instrumented DMA-TA-PL(2) run on OLTP-St:
+//! `--events-out FILE` exports its structured event stream as JSONL,
+//! `--metrics-out FILE` writes the metrics-registry snapshot as JSON, and
+//! `--obs-summary` prints the per-run summary (counters, slack ledger,
+//! replayed guarantee verdict, span timings).
 
 use std::env;
 use std::fs;
@@ -27,6 +33,9 @@ fn main() -> ExitCode {
     let mut ms = 50u64;
     let mut seed = 42u64;
     let mut csv_dir: Option<PathBuf> = None;
+    let mut events_out: Option<PathBuf> = None;
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut obs_summary = false;
     let mut args = env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -42,6 +51,15 @@ fn main() -> ExitCode {
                 Some(dir) => csv_dir = Some(PathBuf::from(dir)),
                 None => return usage("--csv needs a directory"),
             },
+            "--events-out" => match args.next() {
+                Some(f) => events_out = Some(PathBuf::from(f)),
+                None => return usage("--events-out needs a file"),
+            },
+            "--metrics-out" => match args.next() {
+                Some(f) => metrics_out = Some(PathBuf::from(f)),
+                None => return usage("--metrics-out needs a file"),
+            },
+            "--obs-summary" => obs_summary = true,
             "--help" | "-h" => return usage(""),
             other if !other.starts_with('-') => exhibit = other.to_string(),
             other => return usage(&format!("unknown flag {other}")),
@@ -160,7 +178,9 @@ fn main() -> ExitCode {
         let rows = experiments::fig9(exp, &PROC_SWEEP, 0.10);
         println!("{}", fig9_table(&rows));
         write_csv("fig9.csv", bench::csv::fig9(&rows));
-        println!("(paper: savings drop with processor accesses but stay significant; OLTP-Db ~233)");
+        println!(
+            "(paper: savings drop with processor accesses but stay significant; OLTP-Db ~233)"
+        );
     }
     if all || exhibit == "fig10" {
         matched = true;
@@ -199,6 +219,33 @@ fn main() -> ExitCode {
         println!("(paper Figure 5: K = 2 best; K = 6 pays heavy migration churn, e.g. -15.2% on OLTP-St)");
     }
 
+    if events_out.is_some() || metrics_out.is_some() || obs_summary {
+        matched = true;
+        section("Observability: instrumented DMA-TA-PL(2) run (OLTP-St)");
+        let run = experiments::observed_run(exp, 0.10, 1 << 18);
+        print!("{}", bench::obs_summary_table(&run));
+        let obs = run.result.obs.as_ref().expect("instrumented run");
+        if let Some(path) = &events_out {
+            match fs::write(path, obs.events.to_jsonl()) {
+                Ok(()) => println!("(events written to {})", path.display()),
+                Err(e) => {
+                    eprintln!("error: cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if let Some(path) = &metrics_out {
+            match fs::write(path, obs.metrics.to_json()) {
+                Ok(()) => println!("(metrics written to {})", path.display()),
+                Err(e) => {
+                    eprintln!("error: cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        write_csv("obs_summary.csv", bench::csv::obs_summary(&run));
+    }
+
     if !matched {
         return usage(&format!("unknown exhibit {exhibit:?}"));
     }
@@ -210,7 +257,7 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: experiments [table1|table2|fig2a|fig2b|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|groups|tpch|all] [--ms N] [--seed S] [--csv DIR]"
+        "usage: experiments [table1|table2|fig2a|fig2b|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|groups|tpch|all] [--ms N] [--seed S] [--csv DIR] [--events-out FILE] [--metrics-out FILE] [--obs-summary]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

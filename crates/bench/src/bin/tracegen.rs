@@ -50,11 +50,7 @@ fn generator(name: &str) -> Result<Box<dyn TraceGen>, String> {
     })
 }
 
-fn parse_flag<T: std::str::FromStr>(
-    args: &[String],
-    flag: &str,
-    default: T,
-) -> Result<T, String> {
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
     match args.iter().position(|a| a == flag) {
         None => Ok(default),
         Some(i) => args
@@ -81,7 +77,12 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     } else {
         trace.write_binary(&mut w).map_err(|e| e.to_string())?;
     }
-    println!("{}: {} events over {} ms -> {out}", gen.name(), trace.len(), ms);
+    println!(
+        "{}: {} events over {} ms -> {out}",
+        gen.name(),
+        trace.len(),
+        ms
+    );
     Ok(())
 }
 

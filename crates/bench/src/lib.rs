@@ -24,9 +24,8 @@ pub fn breakdown_line(e: &EnergyBreakdown) -> String {
 
 /// Renders Figure 5 rows as an aligned text table.
 pub fn fig5_table(rows: &[Fig5Row]) -> String {
-    let mut out = String::from(
-        "workload      CP-Limit  scheme        savings  measured-deg  within\n",
-    );
+    let mut out =
+        String::from("workload      CP-Limit  scheme        savings  measured-deg  within\n");
     for r in rows {
         out.push_str(&format!(
             "{:<13} {:>6.0}%  {:<13} {:>6.1}%  {:>11.1}%  {}\n",
@@ -110,9 +109,8 @@ pub fn fig4_table(points: &[(f64, f64)]) -> String {
 
 /// Renders Table 2 trace characteristics.
 pub fn table2_text(exp: ExpConfig) -> String {
-    let mut out = String::from(
-        "trace          net/ms  disk/ms  proc/ms  proc/transfer  distinct-pages\n",
-    );
+    let mut out =
+        String::from("trace          net/ms  disk/ms  proc/ms  proc/transfer  distinct-pages\n");
     for (name, s) in experiments::table2(exp) {
         out.push_str(&format!(
             "{:<13} {:>7.1}  {:>7.1}  {:>7.0}  {:>13.1}  {:>14}\n",
@@ -122,6 +120,87 @@ pub fn table2_text(exp: ExpConfig) -> String {
             s.proc_rate_per_ms(),
             s.proc_accesses_per_transfer(),
             s.distinct_dma_pages
+        ));
+    }
+    out
+}
+
+/// Renders the observability summary of an instrumented run: top-line
+/// counters, the slack ledger by cause, the guarantee verdict re-derived
+/// from the event ledger, and profiling spans.
+pub fn obs_summary_table(run: &experiments::ObservedRun) -> String {
+    let verdict = |met: bool| if met { "MET" } else { "VIOLATED" };
+    let r = &run.result;
+    let obs = r.obs.as_ref().expect("instrumented run carries obs");
+    let m = &obs.metrics;
+    let c = |name: &str| m.counter(name).unwrap_or(0);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "workload {}  scheme {}  mu {:.3}  horizon {}\n",
+        run.workload, run.scheme, run.mu, r.horizon
+    ));
+    out.push_str(&format!(
+        "events    {} recorded, {} dropped (ring capacity {})\n",
+        obs.events.recorded(),
+        obs.events.dropped(),
+        obs.events.capacity()
+    ));
+    out.push_str(&format!(
+        "chips     {} wakes, {} sleeps\n",
+        c("dmamem.wakes"),
+        c("dmamem.sleeps")
+    ));
+    out.push_str(&format!(
+        "DMA-TA    {} firsts gathered; releases: {} rule, {} max-delay, {} proc-wake\n",
+        c("dmamem.ta.gathered"),
+        c("dmamem.ta.release.rule"),
+        c("dmamem.ta.release.max_delay"),
+        c("dmamem.ta.release.proc_wake")
+    ));
+    out.push_str(&format!(
+        "PL        {} page moves; {} epoch ticks\n",
+        c("dmamem.pl.page_moves"),
+        c("dmamem.epoch_ticks")
+    ));
+    if let Some(s) = &r.slack {
+        out.push_str(&format!(
+            "slack     {} credits; debits (us): epoch {:.1}, wake {:.1}, proc {:.1}, queue {:.1}; final {:.1}, min {:.1}\n",
+            s.credited,
+            s.debit_epoch_ps / 1e6,
+            s.debit_wake_ps / 1e6,
+            s.debit_proc_ps / 1e6,
+            s.debit_queue_ps / 1e6,
+            s.final_ps / 1e6,
+            s.min_ps / 1e6
+        ));
+    }
+    let replay = dmamem::replay_slack(obs.events.iter());
+    // The balance-trail check only means something on a complete stream;
+    // the close-record verdict is exact either way (it carries integer
+    // service totals, and the ring drops oldest first).
+    let ledger = if obs.events.dropped() > 0 {
+        format!("truncated, {} oldest dropped", obs.events.dropped())
+    } else if replay.ledger_consistent {
+        "consistent".to_string()
+    } else {
+        "INCONSISTENT".to_string()
+    };
+    out.push_str(&format!(
+        "guarantee recorded {} | replayed-from-ledger {} (ledger {ledger})\n",
+        verdict(r.guarantee_met(run.t_ref)),
+        verdict(replay.guarantee_met(run.t_ref))
+    ));
+    if let Some(h) = m.histograms.get("span.engine_dispatch_ns") {
+        let mean = if h.count == 0 {
+            0.0
+        } else {
+            h.sum as f64 / h.count as f64
+        };
+        out.push_str(&format!(
+            "spans     engine_dispatch: {} samples, mean {:.0} ns, p99 ~{} ns\n",
+            h.count,
+            mean,
+            h.quantile(0.99)
         ));
     }
     out
@@ -156,6 +235,19 @@ mod tests {
         assert!(t.contains("DMA-TA-PL(2)"));
         let pts = experiments::fig4(exp, 5);
         assert!(fig4_table(&pts).lines().count() == 7);
+    }
+
+    #[test]
+    fn obs_summary_renders_verdicts_and_csv() {
+        let run = experiments::observed_run(ExpConfig::quick(), 0.10, 1 << 18);
+        let t = obs_summary_table(&run);
+        assert!(t.contains("guarantee recorded"), "summary:\n{t}");
+        assert!(t.contains("DMA-TA"), "summary:\n{t}");
+        assert!(t.contains("slack"), "summary:\n{t}");
+        let c = csv::obs_summary(&run);
+        assert!(c.starts_with("metric,value\n"));
+        assert!(c.contains("dmamem.wakes,"));
+        assert!(c.contains("guarantee.replayed,"));
     }
 
     #[test]
@@ -239,6 +331,39 @@ pub mod csv {
         for (x, y) in points {
             out.push_str(&format!("{x:.6},{y:.6}\n"));
         }
+        out
+    }
+
+    /// Top-line observability counters of an instrumented run as
+    /// `name,value` CSV rows.
+    pub fn obs_summary(run: &dmamem::experiments::ObservedRun) -> String {
+        let r = &run.result;
+        let obs = r.obs.as_ref().expect("instrumented run carries obs");
+        let mut out = String::from("metric,value\n");
+        for (name, v) in &obs.metrics.counters {
+            out.push_str(&format!("{name},{v}\n"));
+        }
+        for (name, v) in &obs.metrics.gauges {
+            out.push_str(&format!("{name},{v:.3}\n"));
+        }
+        if let Some(s) = &r.slack {
+            out.push_str(&format!("slack.debit_epoch_ps,{:.3}\n", s.debit_epoch_ps));
+            out.push_str(&format!("slack.debit_wake_ps,{:.3}\n", s.debit_wake_ps));
+            out.push_str(&format!("slack.debit_proc_ps,{:.3}\n", s.debit_proc_ps));
+            out.push_str(&format!("slack.debit_queue_ps,{:.3}\n", s.debit_queue_ps));
+            out.push_str(&format!("slack.min_ps,{:.3}\n", s.min_ps));
+        }
+        let replay = dmamem::replay_slack(obs.events.iter());
+        out.push_str(&format!(
+            "guarantee.recorded,{}\n",
+            r.guarantee_met(run.t_ref)
+        ));
+        out.push_str(&format!(
+            "guarantee.replayed,{}\n",
+            replay.guarantee_met(run.t_ref)
+        ));
+        out.push_str(&format!("ledger.consistent,{}\n", replay.ledger_consistent));
+        out.push_str(&format!("ledger.complete,{}\n", obs.events.dropped() == 0));
         out
     }
 

@@ -1,7 +1,5 @@
 //! On-disk segment (track buffer) cache.
 
-use serde::{Deserialize, Serialize};
-
 /// An LRU cache of LBA extents, modelling a drive's segmented read cache.
 ///
 /// Each entry is a contiguous sector extent; a lookup hits when the
@@ -17,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(c.contains(120, 10));
 /// assert!(!c.contains(140, 20)); // runs past the extent
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SegmentCache {
     capacity: usize,
     /// Most-recently-used last.

@@ -1,12 +1,11 @@
 //! The single-disk mechanical model.
 
-use serde::{Deserialize, Serialize};
 use simcore::{SimDuration, SimTime};
 
 use crate::cache::SegmentCache;
 
 /// Read or write.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RequestKind {
     /// Data moves disk -> memory.
     Read,
@@ -15,7 +14,7 @@ pub enum RequestKind {
 }
 
 /// One disk request in sectors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DiskRequest {
     /// Starting logical block address (sector number).
     pub lba: u64,
@@ -26,7 +25,7 @@ pub struct DiskRequest {
 }
 
 /// When a submitted request occupies the disk and streams data.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DiskAccess {
     /// When the disk begins positioning for this request (after queueing).
     pub start_service: SimTime,
@@ -46,7 +45,7 @@ impl DiskAccess {
 }
 
 /// Mechanical and cache parameters of one disk.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DiskParams {
     /// Spindle speed in revolutions per minute.
     pub rpm: f64,
@@ -246,8 +245,7 @@ impl Disk {
         // Deterministic rotational latency from the platter's angular
         // position at `positioned`.
         let rev = self.params.revolution();
-        let head_angle =
-            (positioned.as_ps() % rev.as_ps()) as f64 / rev.as_ps() as f64;
+        let head_angle = (positioned.as_ps() % rev.as_ps()) as f64 / rev.as_ps() as f64;
         let target_angle = self.params.angle_of(req.lba);
         let wait_frac = (target_angle - head_angle).rem_euclid(1.0);
         let rotation = rev.mul_f64(wait_frac);

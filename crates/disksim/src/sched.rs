@@ -8,12 +8,10 @@
 //! service order. The storage-server example and the queueing tests use
 //! them to quantify what FCFS costs.
 
-use serde::{Deserialize, Serialize};
-
 use crate::disk::{DiskParams, DiskRequest};
 
 /// A head-scheduling discipline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Discipline {
     /// First come, first served (no reordering).
     Fcfs,

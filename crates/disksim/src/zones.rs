@@ -5,13 +5,12 @@
 //! layers a zone table over [`crate::DiskParams`]: the zone determines the
 //! sectors-per-track (and therefore the media rate) used for a request.
 
-use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
 
 use crate::disk::DiskParams;
 
 /// One zone: a contiguous cylinder range with uniform track density.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Zone {
     /// First cylinder of the zone.
     pub first_cylinder: u64,
@@ -32,7 +31,7 @@ pub struct Zone {
 /// let inner = z.media_rate_at_cylinder(z.base().cylinders - 1);
 /// assert!(outer > inner);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ZonedGeometry {
     base: DiskParams,
     zones: Vec<Zone>,

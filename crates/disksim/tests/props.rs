@@ -8,7 +8,11 @@ fn request(lba: u64, sectors: u64, write: bool) -> DiskRequest {
     DiskRequest {
         lba,
         sectors,
-        kind: if write { RequestKind::Write } else { RequestKind::Read },
+        kind: if write {
+            RequestKind::Write
+        } else {
+            RequestKind::Read
+        },
     }
 }
 

@@ -37,7 +37,10 @@ pub fn mu_for_cp_limit(
         "invalid CP-Limit: {cp_limit}"
     );
     let base = ServerSimulator::new(config.clone(), Scheme::baseline()).run(trace);
-    assert!(base.transfers > 0, "calibration trace completed no transfers");
+    assert!(
+        base.transfers > 0,
+        "calibration trace completed no transfers"
+    );
     let q = base.dma_requests as f64 / base.transfers as f64;
     let r_ns = base.transfer_response.mean_ns() + client_extra.as_ns_f64();
     let t_ns = config.t_request().as_ns_f64();

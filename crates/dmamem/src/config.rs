@@ -5,12 +5,11 @@ use mempower::policy::{
     AlwaysActive, DynamicThresholdPolicy, PowerPolicy, SelfTuningPolicy, StaticPolicy,
 };
 use mempower::{PowerMode, PowerModel};
-use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
 
 /// Which low-level power-management policy runs under the DMA-aware schemes
 /// (paper Section 2.2).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PolicyKind {
     /// No power management; chips stay active (used for calibration).
     AlwaysActive,
@@ -43,7 +42,7 @@ impl PolicyKind {
 }
 
 /// DMA-TA (temporal alignment) parameters — paper Section 4.1.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TaConfig {
     /// The per-request performance-degradation budget `mu`: the average
     /// DMA-memory request service time may grow to `(1 + mu) * T`.
@@ -82,7 +81,7 @@ impl TaConfig {
 }
 
 /// PL (popularity-based layout) parameters — paper Section 4.2.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PlConfig {
     /// Number of popularity groups `K` (paper: 2 works best; 3 and 6 are
     /// evaluated in Figure 5).
@@ -134,7 +133,7 @@ impl Default for PlConfig {
 }
 
 /// The memory-management scheme under evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Scheme {
     /// Temporal alignment, if enabled.
     pub ta: Option<TaConfig>,
@@ -192,7 +191,7 @@ impl Scheme {
 /// assert_eq!(c.frames_per_chip(), 4096);
 /// assert_eq!(c.k_buses_to_saturate(), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
     /// Number of memory chips.
     pub chips: usize,

@@ -192,6 +192,15 @@ pub fn plan_and_apply(
     plan_and_apply_with_floor(tracker, map, config, frames_per_chip, 1)
 }
 
+/// What one planning interval decided, for observability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanStats {
+    /// Pages in the hot set (the prefix covering `p` of recent traffic).
+    pub hot_pages: usize,
+    /// Chips assigned to the hot groups.
+    pub hot_chips: usize,
+}
+
 /// [`plan_and_apply`] with a capacity floor on the hot-chip count:
 /// concentrating `p` of the traffic onto fewer chips than can absorb its
 /// bandwidth would oversubscribe them (queueing instead of alignment), so
@@ -203,9 +212,21 @@ pub fn plan_and_apply_with_floor(
     frames_per_chip: usize,
     min_hot_chips: usize,
 ) -> Vec<Move> {
+    plan_and_apply_observed(tracker, map, config, frames_per_chip, min_hot_chips).0
+}
+
+/// [`plan_and_apply_with_floor`], additionally reporting the interval's
+/// planning statistics for the observability layer.
+pub fn plan_and_apply_observed(
+    tracker: &PopularityTracker,
+    map: &mut PageMap,
+    config: &PlConfig,
+    frames_per_chip: usize,
+    min_hot_chips: usize,
+) -> (Vec<Move>, PlanStats) {
     let total = tracker.total();
     if total == 0 {
-        return Vec::new();
+        return (Vec::new(), PlanStats::default());
     }
     let ranked = tracker.ranked();
 
@@ -229,6 +250,10 @@ pub fn plan_and_apply_with_floor(
         .max(min_hot_chips)
         .min(map.chips() - 1)
         .max(1);
+    let stats = PlanStats {
+        hot_pages: hot_len,
+        hot_chips: n_hot,
+    };
     let layout = GroupLayout::new(config.groups, n_hot, map.chips());
 
     // Target group per hot page: hottest pages fill group 0, then 1, ...
@@ -249,19 +274,17 @@ pub fn plan_and_apply_with_floor(
     for g in 0..layout.groups() - 1 {
         let (start, end) = layout.chip_range(g);
         let capacity = layout.chips_in(g) * frames_per_chip;
-        let pages_for_group: Vec<PageId> =
-            hot[cursor..(cursor + capacity).min(hot_len)].to_vec();
+        let pages_for_group: Vec<PageId> = hot[cursor..(cursor + capacity).min(hot_len)].to_vec();
         cursor += pages_for_group.len();
         for page in pages_for_group {
             if moves.len() >= config.max_moves_per_interval {
-                return moves;
+                return (moves, stats);
             }
             let cur = map.chip_of(page);
             if (start..end).contains(&cur) {
                 continue; // already placed
             }
-            if config.min_count_to_migrate > 0
-                && tracker.count(page) < config.min_count_to_migrate
+            if config.min_count_to_migrate > 0 && tracker.count(page) < config.min_count_to_migrate
             {
                 continue; // cost-benefit gate: too cold to pay for a move
             }
@@ -321,11 +344,15 @@ pub fn plan_and_apply_with_floor(
             };
             let from = map.chip_of(page);
             if map.move_page(page, dst) {
-                moves.push(Move { page, from, to: dst });
+                moves.push(Move {
+                    page,
+                    from,
+                    to: dst,
+                });
             }
         }
     }
-    moves
+    (moves, stats)
 }
 
 #[cfg(test)]
@@ -424,6 +451,33 @@ mod tests {
         for p in 12..16u64 {
             assert_eq!(map.chip_of(p), 0, "page {p} not on hot chip");
         }
+    }
+
+    #[test]
+    fn observed_plan_reports_hot_set() {
+        let (mut map, _) = small_map(16, 4, 8);
+        let mut t = PopularityTracker::new(16);
+        for _ in 0..10 {
+            for p in 12..16 {
+                t.record(p);
+            }
+        }
+        // p = 0.6 of 40 accesses = 24, covered by the 3 hottest pages; one
+        // 8-frame chip holds them all.
+        let (moves, stats) = plan_and_apply_observed(&t, &mut map, &PlConfig::new(2), 8, 1);
+        assert!(!moves.is_empty());
+        assert_eq!(
+            stats,
+            PlanStats {
+                hot_pages: 3,
+                hot_chips: 1
+            }
+        );
+        // Empty tracker: default stats.
+        let empty = PopularityTracker::new(16);
+        let (m2, s2) = plan_and_apply_observed(&empty, &mut map, &PlConfig::new(2), 8, 1);
+        assert!(m2.is_empty());
+        assert_eq!(s2, PlanStats::default());
     }
 
     #[test]

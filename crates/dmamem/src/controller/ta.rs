@@ -84,10 +84,13 @@ impl SlackAccount {
         self.credited
     }
 
-    /// Credits `mu * T` for one arriving DMA-memory request.
-    pub fn credit_request(&mut self) {
-        self.slack_ps += self.mu * self.t_req.as_ps() as f64;
+    /// Credits `mu * T` for one arriving DMA-memory request; returns the
+    /// credited amount in picoseconds (for audit-trail mirroring).
+    pub fn credit_request(&mut self) -> f64 {
+        let amount = self.mu * self.t_req.as_ps() as f64;
+        self.slack_ps += amount;
         self.credited += 1;
+        amount
     }
 
     /// Epoch debit: every pending request is pessimistically assumed to
@@ -227,7 +230,8 @@ mod tests {
     fn credit_and_debit_arithmetic() {
         let mut s = SlackAccount::new(0.25, t());
         for _ in 0..4 {
-            s.credit_request();
+            // Each credit is mu * T = 2 ns and is reported back.
+            assert_eq!(s.credit_request(), 2_000.0);
         }
         // 4 * 0.25 * 8ns = 8 ns.
         assert_eq!(s.slack_ps(), 8_000.0);

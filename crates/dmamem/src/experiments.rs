@@ -225,7 +225,9 @@ pub struct Fig2a {
 pub fn fig2a() -> Fig2a {
     let config = paper_system();
     let cycle = SimDuration::from_cycles(1, 1.6e9);
-    let serving = config.power_model.service_time(config.buses[0].request_bytes);
+    let serving = config
+        .power_model
+        .service_time(config.buses[0].request_bytes);
     let period = config.t_request();
     let trace = Trace::from_events(vec![dma_trace::TraceEvent::Dma(dma_trace::DmaRecord {
         time: simcore::SimTime::ZERO,
@@ -470,8 +472,7 @@ pub fn fig7(exp: ExpConfig, cp_limits: &[f64]) -> Vec<Fig7Row> {
         .map(|&cp| {
             let mu = mu_from_baseline(&config, &baseline, cp, extra);
             let ta = ServerSimulator::new(config.clone(), Scheme::dma_ta(mu)).run(&trace);
-            let tapl =
-                ServerSimulator::new(config.clone(), Scheme::dma_ta_pl(mu, 2)).run(&trace);
+            let tapl = ServerSimulator::new(config.clone(), Scheme::dma_ta_pl(mu, 2)).run(&trace);
             Fig7Row {
                 cp_limit: cp,
                 uf_baseline: baseline.utilization_factor(),
@@ -512,8 +513,7 @@ pub fn fig8(exp: ExpConfig, rates: &[f64], cp_limit: f64) -> Vec<Fig8Row> {
             let baseline = ServerSimulator::new(config.clone(), Scheme::baseline()).run(&trace);
             let mu = mu_from_baseline(&config, &baseline, cp_limit, extra);
             let ta = ServerSimulator::new(config.clone(), Scheme::dma_ta(mu)).run(&trace);
-            let tapl =
-                ServerSimulator::new(config.clone(), Scheme::dma_ta_pl(mu, 2)).run(&trace);
+            let tapl = ServerSimulator::new(config.clone(), Scheme::dma_ta_pl(mu, 2)).run(&trace);
             Fig8Row {
                 transfers_per_ms: rate,
                 savings_ta: ta.savings_vs(&baseline),
@@ -550,8 +550,7 @@ pub fn fig9(exp: ExpConfig, counts: &[f64], cp_limit: f64) -> Vec<Fig9Row> {
             let baseline = ServerSimulator::new(config.clone(), Scheme::baseline()).run(&trace);
             let mu = mu_from_baseline(&config, &baseline, cp_limit, extra);
             let ta = ServerSimulator::new(config.clone(), Scheme::dma_ta(mu)).run(&trace);
-            let tapl =
-                ServerSimulator::new(config.clone(), Scheme::dma_ta_pl(mu, 2)).run(&trace);
+            let tapl = ServerSimulator::new(config.clone(), Scheme::dma_ta_pl(mu, 2)).run(&trace);
             Fig9Row {
                 proc_per_transfer: n,
                 savings_ta: ta.savings_vs(&baseline),
@@ -590,8 +589,7 @@ pub fn fig10(exp: ExpConfig, bus_rates: &[f64], cp_limit: f64) -> Vec<Fig10Row> 
             let baseline = ServerSimulator::new(config.clone(), Scheme::baseline()).run(&trace);
             let mu = mu_from_baseline(&config, &baseline, cp_limit, extra);
             let ta = ServerSimulator::new(config.clone(), Scheme::dma_ta(mu)).run(&trace);
-            let tapl =
-                ServerSimulator::new(config.clone(), Scheme::dma_ta_pl(mu, 2)).run(&trace);
+            let tapl = ServerSimulator::new(config.clone(), Scheme::dma_ta_pl(mu, 2)).run(&trace);
             rows.push(Fig10Row {
                 workload: w.label().to_string(),
                 ratio: 3.2e9 / rate,
@@ -647,8 +645,7 @@ pub fn group_ablation(exp: ExpConfig, cp_limit: f64) -> Vec<GroupAblationRow> {
     [2usize, 3, 6]
         .iter()
         .map(|&groups| {
-            let r = ServerSimulator::new(config.clone(), Scheme::dma_ta_pl(mu, groups))
-                .run(&trace);
+            let r = ServerSimulator::new(config.clone(), Scheme::dma_ta_pl(mu, groups)).run(&trace);
             GroupAblationRow {
                 groups,
                 savings: r.savings_vs(&baseline),
@@ -699,6 +696,48 @@ pub fn tpch(exp: ExpConfig, cp_limit: f64) -> Vec<TpchRow> {
         .collect()
 }
 
+// ---------------------------------------------------------------------
+// Observability
+
+/// An observability-instrumented run (see
+/// [`crate::ServerSimulator::with_observability`]): metrics registry,
+/// structured event sink, and span timers all enabled.
+#[derive(Debug, Clone)]
+pub struct ObservedRun {
+    /// Workload label.
+    pub workload: String,
+    /// Scheme label.
+    pub scheme: String,
+    /// The `mu` budget derived from the baseline at the CP-Limit.
+    pub mu: f64,
+    /// Reference request time the guarantee is measured against.
+    pub t_ref: SimDuration,
+    /// The instrumented result; `result.obs` is always `Some`.
+    pub result: SimResult,
+}
+
+/// Runs the paper's OLTP-St workload under DMA-TA-PL(2) with full
+/// observability. The scheme exercises every event family — power-mode
+/// transitions, TA gather/release decisions, the slack ledger, and PL page
+/// migrations — so its export is the canonical audit-trail sample.
+pub fn observed_run(exp: ExpConfig, cp_limit: f64, event_capacity: usize) -> ObservedRun {
+    let config = paper_system();
+    let trace = Workload::OltpSt.generate(exp.duration, exp.seed);
+    let extra = Workload::OltpSt.client_extra_latency();
+    let baseline = ServerSimulator::new(config.clone(), Scheme::baseline()).run(&trace);
+    let mu = mu_from_baseline(&config, &baseline, cp_limit, extra);
+    let result = ServerSimulator::new(config.clone(), Scheme::dma_ta_pl(mu, 2))
+        .with_observability(event_capacity)
+        .run(&trace);
+    ObservedRun {
+        workload: Workload::OltpSt.label().to_string(),
+        scheme: result.scheme.clone(),
+        mu,
+        t_ref: config.t_request(),
+        result,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -740,7 +779,10 @@ mod tests {
         for (name, e) in rows {
             let idle = e.fraction(EnergyCategory::ActiveIdleDma);
             let threshold = e.fraction(EnergyCategory::ActiveIdleThreshold);
-            assert!(idle > threshold, "{name}: idle {idle} vs threshold {threshold}");
+            assert!(
+                idle > threshold,
+                "{name}: idle {idle} vs threshold {threshold}"
+            );
         }
     }
 
@@ -777,7 +819,11 @@ mod tests {
         assert_eq!(rows.len(), 2);
         let tapl = rows.iter().find(|r| r.scheme.contains("PL")).unwrap();
         // Uniform scans give PL no stable hot set to concentrate.
-        assert!(tapl.page_moves < 500, "PL churned {} moves", tapl.page_moves);
+        assert!(
+            tapl.page_moves < 500,
+            "PL churned {} moves",
+            tapl.page_moves
+        );
     }
 
     #[test]

@@ -45,10 +45,12 @@ pub mod controller;
 pub mod experiments;
 mod layout;
 mod metrics;
+pub mod obs;
 mod system;
 pub mod timeline;
 
 pub use config::{PlConfig, PolicyKind, Scheme, SystemConfig, TaConfig};
 pub use layout::PageMap;
 pub use metrics::SimResult;
+pub use obs::{replay_slack, RunObs, SimEvent, SlackReplay, SlackSummary};
 pub use system::ServerSimulator;

@@ -1,17 +1,17 @@
 //! Simulation results and derived metrics.
 
 use mempower::{EnergyBreakdown, EnergyCategory};
-use serde::{Deserialize, Serialize};
 use simcore::stats::DurationStats;
 use simcore::SimDuration;
 
+use crate::obs::{RunObs, SlackSummary};
 use crate::timeline::TimelineRecorder;
 
 /// Everything a simulation run measured.
 ///
 /// Produced by [`crate::ServerSimulator::run`]; the experiment harness
 /// combines several of these into the paper's tables and figures.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimResult {
     /// Scheme label ("baseline", "DMA-TA", "DMA-TA-PL(2)", ...).
     pub scheme: String,
@@ -48,6 +48,12 @@ pub struct SimResult {
     /// milliwatts — used to extend runs to a common horizon for fair
     /// energy comparison.
     pub sleep_floor_mw: f64,
+    /// Final slack-account summary (present when DMA-TA ran with a
+    /// guarantee budget).
+    pub slack: Option<SlackSummary>,
+    /// Observability report — metrics snapshot and the recorded event
+    /// stream (see [`crate::ServerSimulator::with_observability`]).
+    pub obs: Option<RunObs>,
     /// Chip-activity timeline, if recording was requested (see
     /// [`crate::ServerSimulator::with_timeline`]).
     pub timeline: Option<TimelineRecorder>,
@@ -141,7 +147,21 @@ impl std::fmt::Display for SimResult {
             self.wakes,
             self.delayed_firsts,
             self.page_moves
-        )
+        )?;
+        if let Some(s) = &self.slack {
+            write!(
+                f,
+                "\n  slack: {} credits, debits epoch {:.1}/wake {:.1}/proc {:.1}/queue {:.1} us, final {:.1} us (min {:.1})",
+                s.credited,
+                s.debit_epoch_ps / 1e6,
+                s.debit_wake_ps / 1e6,
+                s.debit_proc_ps / 1e6,
+                s.debit_queue_ps / 1e6,
+                s.final_ps / 1e6,
+                s.min_ps / 1e6
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -177,6 +197,8 @@ mod tests {
             page_moves: 0,
             mu: 0.0,
             sleep_floor_mw: 96.0,
+            slack: None,
+            obs: None,
             timeline: None,
         }
     }

@@ -22,14 +22,16 @@ use dma_trace::{Trace, TraceEvent};
 use iobus::{Bus, BusId, DmaRequest, DmaTransfer, IssueOutcome, PageId, TransferId};
 use mempower::policy::PowerPolicy;
 use mempower::{Chip, ChipPhase, EnergyBreakdown, EnergyCategory, PowerMode};
+use simcore::obs::{EventSink, MetricsRegistry, SpanTimer};
 use simcore::stats::DurationStats;
 use simcore::{EventQueue, SimDuration, SimTime};
 
 use crate::config::{Scheme, SystemConfig};
-use crate::controller::pl::{plan_and_apply_with_floor, PopularityTracker};
+use crate::controller::pl::{plan_and_apply_observed, PopularityTracker};
 use crate::controller::ta::{ReleaseRule, SlackAccount};
 use crate::layout::PageMap;
 use crate::metrics::SimResult;
+use crate::obs::{DebitCause, Obs, ObsMetrics, ReleaseCause, RunObs, SlackSummary};
 use crate::timeline::{ChipActivity, TimelineRecorder};
 
 /// Simulates a data server running one [`Scheme`] over a trace.
@@ -43,6 +45,7 @@ pub struct ServerSimulator {
     config: SystemConfig,
     scheme: Scheme,
     timeline_window: Option<(SimTime, SimTime)>,
+    observability: Option<usize>,
 }
 
 impl ServerSimulator {
@@ -58,7 +61,24 @@ impl ServerSimulator {
             config,
             scheme,
             timeline_window: None,
+            observability: None,
         }
+    }
+
+    /// Enables full observability: metric collection, chip power-mode
+    /// transition logging, and event tracing into a ring buffer of
+    /// `event_capacity` events (oldest dropped first). The result's
+    /// [`SimResult::obs`] then carries the metrics snapshot and the event
+    /// stream; see [`crate::obs`] for the event schema and
+    /// [`crate::obs::replay_slack`] for the guarantee audit trail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `event_capacity` is zero.
+    pub fn with_observability(mut self, event_capacity: usize) -> Self {
+        assert!(event_capacity > 0, "zero-capacity event sink");
+        self.observability = Some(event_capacity);
+        self
     }
 
     /// Records per-chip activity timelines inside `[start, end)`; the
@@ -92,7 +112,16 @@ impl ServerSimulator {
     pub fn run(&self, trace: &Trace) -> SimResult {
         let mut engine = Engine::new(&self.config, &self.scheme);
         if let Some((start, end)) = self.timeline_window {
-            engine.timeline = Some(TimelineRecorder::new(start, end, self.config.chips));
+            engine.obs.timeline = Some(TimelineRecorder::new(start, end, self.config.chips));
+        }
+        if let Some(capacity) = self.observability {
+            let registry = MetricsRegistry::new();
+            engine.obs.sink = Some(EventSink::new(capacity));
+            engine.obs.metrics = Some(ObsMetrics::new(&registry));
+            engine.dispatch_span = Some(SpanTimer::new(&registry, "engine_dispatch"));
+            for c in &mut engine.chips {
+                c.chip.enable_transition_log();
+            }
         }
         engine.run(trace)
     }
@@ -205,7 +234,13 @@ struct Engine<'a> {
     dbg_pending_delay_ps: f64,
     dbg_first_post_release_ps: f64,
     dbg_nonfirst_delay_ps: f64,
-    timeline: Option<TimelineRecorder>,
+    // Exact service-time totals, kept alongside `request_service` so the
+    // slack-ledger close carries integer data the replay can reproduce
+    // `guarantee_met` from without float-accumulation drift.
+    served: u64,
+    service_sum_ps: u64,
+    obs: Obs,
+    dispatch_span: Option<SpanTimer>,
 }
 
 impl<'a> Engine<'a> {
@@ -278,13 +313,19 @@ impl<'a> Engine<'a> {
             dbg_pending_delay_ps: 0.0,
             dbg_first_post_release_ps: 0.0,
             dbg_nonfirst_delay_ps: 0.0,
-            timeline: None,
+            served: 0,
+            service_sum_ps: 0,
+            obs: Obs::new(config.chips),
+            dispatch_span: None,
         }
     }
 
-    /// Feeds the timeline recorder (if any) the chip's current activity.
+    /// Feeds the activity consumers (timeline recorder, event sink) the
+    /// chip's current activity.
     fn tl_note(&mut self, chip: usize) {
-        let Some(rec) = &mut self.timeline else { return };
+        if !self.obs.wants_activity() {
+            return;
+        }
         let c = &self.chips[chip];
         let activity = match c.chip.phase() {
             ChipPhase::Steady(PowerMode::Active) => {
@@ -299,7 +340,18 @@ impl<'a> Engine<'a> {
             ChipPhase::Steady(_) => ChipActivity::LowPower,
             _ => ChipActivity::Transitioning,
         };
-        rec.record(chip, self.now, activity);
+        self.obs.note_activity(chip, self.now, activity);
+    }
+
+    /// Drains the chip's power-transition log into the event stream.
+    fn note_transitions(&mut self, chip: usize) {
+        if !self.obs.enabled() {
+            return;
+        }
+        let events = self.chips[chip].chip.take_transition_events();
+        if !events.is_empty() {
+            self.obs.note_transitions(chip, events);
+        }
     }
 
     fn run(mut self, trace: &Trace) -> SimResult {
@@ -323,16 +375,19 @@ impl<'a> Engine<'a> {
             let rm = self.config.power_model.bandwidth_bytes_per_sec();
             let rb = self.config.buses[0].bytes_per_sec;
             if rm / rb >= 2.0 {
-                self.queue.schedule(SimTime::ZERO + pl.interval, Ev::PlInterval);
+                self.queue
+                    .schedule(SimTime::ZERO + pl.interval, Ev::PlInterval);
             }
         }
 
+        let dispatch_span = self.dispatch_span.clone();
         while let Some((t, ev)) = self.queue.pop() {
             debug_assert!(t >= self.now, "event time went backwards");
             self.now = t;
             if self.finished(events.len()) {
                 break;
             }
+            let _span = dispatch_span.as_ref().map(|s| s.start());
             match ev {
                 Ev::Trace => self.on_trace(events),
                 Ev::BusTick { bus, gen } => self.on_bus_tick(bus, gen),
@@ -367,18 +422,63 @@ impl<'a> Engine<'a> {
             }
         }
         let horizon = self.now.max(SimTime::ZERO + trace.duration());
-        if let Some(rec) = &mut self.timeline {
+        if let Some(rec) = &mut self.obs.timeline {
             rec.finish(horizon);
+        }
+        // Close the slack ledger so the audit trail is self-contained.
+        let slack_summary = self.slack.as_ref().map(|s| {
+            let (epoch, wake, proc, queue) = s.debits_ps();
+            SlackSummary {
+                credited: s.credited_requests(),
+                debit_epoch_ps: epoch,
+                debit_wake_ps: wake,
+                debit_proc_ps: proc,
+                debit_queue_ps: queue,
+                final_ps: s.slack_ps(),
+                min_ps: s.min_slack_ps(),
+            }
+        });
+        if let Some(s) = &self.slack {
+            let (credited, balance, min, mu) = (
+                s.credited_requests(),
+                s.slack_ps(),
+                s.min_slack_ps(),
+                s.mu(),
+            );
+            self.obs.slack_close(
+                horizon,
+                credited,
+                balance,
+                min,
+                self.served,
+                self.service_sum_ps,
+                mu,
+                self.config.t_request(),
+            );
+        } else {
+            self.obs.flush_credits();
         }
         let mut energy = EnergyBreakdown::new();
         let mut per_chip_mj = Vec::with_capacity(self.chips.len());
         let mut wakes = 0;
+        for chip in 0..self.chips.len() {
+            self.note_transitions(chip);
+        }
         for c in &mut self.chips {
             c.chip.sync(horizon);
             energy.merge(c.chip.energy());
             per_chip_mj.push(c.chip.energy().total_mj());
             wakes += c.chip.wakes();
         }
+        let obs_report = self.obs.sink.take().map(|events| RunObs {
+            metrics: self
+                .obs
+                .metrics
+                .as_ref()
+                .map(|m| m.registry.snapshot())
+                .unwrap_or_default(),
+            events,
+        });
         SimResult {
             scheme: self.scheme.label(),
             energy,
@@ -394,7 +494,9 @@ impl<'a> Engine<'a> {
             delayed_firsts: self.delayed_firsts,
             page_moves: self.page_moves,
             mu: self.scheme.ta.map_or(0.0, |t| t.mu),
-            timeline: self.timeline,
+            slack: slack_summary,
+            obs: obs_report,
+            timeline: self.obs.timeline.take(),
             sleep_floor_mw: self.config.chips as f64
                 * self
                     .config
@@ -467,11 +569,17 @@ impl<'a> Engine<'a> {
         let pending = self.chips[chip].pending_count();
         if let Some(slack) = &mut self.slack {
             slack.debit_proc(self.proc_service, pending);
+            if pending > 0 {
+                let amount = self.proc_service.as_ps() as f64 * pending as f64;
+                let balance = slack.slack_ps();
+                self.obs
+                    .slack_debit(self.now, DebitCause::Proc, amount, balance);
+            }
         }
         // A processor access wakes the chip immediately (priority); pending
         // DMA requests ride along since the chip will be active anyway.
         if pending > 0 {
-            self.release_chip(chip);
+            self.release_chip(chip, ReleaseCause::ProcWake);
         } else {
             self.make_progress(chip);
         }
@@ -506,7 +614,11 @@ impl<'a> Engine<'a> {
     fn on_dma_request(&mut self, req: DmaRequest) {
         self.dma_requests += 1;
         if let Some(slack) = &mut self.slack {
-            slack.credit_request();
+            let amount = slack.credit_request();
+            let balance = slack.slack_ps();
+            if self.obs.enabled() {
+                self.obs.slack_credit(self.now, amount, balance);
+            }
         }
         let chip = self
             .tracks
@@ -530,6 +642,8 @@ impl<'a> Engine<'a> {
             self.live_requests += 1;
             self.ta_pending_total += 1;
             self.delayed_firsts += 1;
+            let pending = self.chips[chip].pending_count();
+            self.obs.ta_gather(self.now, chip, pending);
             self.check_release(chip);
         } else {
             self.enqueue_dma(chip, req);
@@ -557,41 +671,51 @@ impl<'a> Engine<'a> {
             return;
         };
         let max_delay = self.scheme.ta.expect("TA on").max_delay;
-        if self.now.saturating_since(oldest.arrival) >= max_delay
-            || rule.should_release(&c.pending_per_bus, slack.slack_ps())
-        {
-            self.release_chip(chip);
+        if self.now.saturating_since(oldest.arrival) >= max_delay {
+            self.release_chip(chip, ReleaseCause::MaxDelay);
+        } else if rule.should_release(&c.pending_per_bus, slack.slack_ps()) {
+            self.release_chip(chip, ReleaseCause::Rule);
         }
     }
 
     /// Moves a chip's gathered first requests into its ready queue and
     /// wakes it. Also used when a processor access forces the chip awake.
-    fn release_chip(&mut self, chip: usize) {
+    fn release_chip(&mut self, chip: usize, cause: ReleaseCause) {
         let n = self.chips[chip].pending_count();
         if n > 0 {
             // Charge the activation latency against the guarantee.
             let wake_latency = match self.chips[chip].chip.phase() {
-                ChipPhase::Steady(m) if m.is_low_power() => {
-                    self.config.power_model.wake(m).latency
-                }
+                ChipPhase::Steady(m) if m.is_low_power() => self.config.power_model.wake(m).latency,
                 ChipPhase::GoingDown { to, .. } => self.config.power_model.wake(to).latency,
                 _ => SimDuration::ZERO,
             };
-            if let Some(slack) = &mut self.slack {
+            // Charge delay incurred since the last epoch boundary that
+            // epoch accounting has not covered.
+            let residual: f64 = self.chips[chip]
+                .pending
+                .iter()
+                .map(|p| {
+                    self.now
+                        .saturating_since(p.arrival.max(self.last_epoch_tick))
+                        .as_ps() as f64
+                })
+                .sum();
+            if let Some(slack) = self.slack.as_mut() {
                 slack.debit_wake(wake_latency, n);
-                // Charge delay incurred since the last epoch boundary that
-                // epoch accounting has not covered.
-                let residual: f64 = self.chips[chip]
-                    .pending
-                    .iter()
-                    .map(|p| {
-                        self.now
-                            .saturating_since(p.arrival.max(self.last_epoch_tick))
-                            .as_ps() as f64
-                    })
-                    .sum();
+                let wake_amount = wake_latency.as_ps() as f64 * n as f64;
+                let after_wake = slack.slack_ps();
                 slack.debit_residual(residual);
+                let after_residual = slack.slack_ps();
+                if wake_amount > 0.0 {
+                    self.obs
+                        .slack_debit(self.now, DebitCause::Wake, wake_amount, after_wake);
+                }
+                if residual > 0.0 {
+                    self.obs
+                        .slack_debit(self.now, DebitCause::Residual, residual, after_residual);
+                }
             }
+            self.obs.ta_release(self.now, chip, n, cause);
             for p in &self.chips[chip].pending {
                 self.dbg_pending_delay_ps += self.now.saturating_since(p.arrival).as_ps() as f64;
             }
@@ -618,9 +742,7 @@ impl<'a> Engine<'a> {
     /// Drives a chip forward: wake it if it has work while sleeping, start
     /// the next service if it is free, or arm the policy timer if idle.
     fn make_progress(&mut self, chip: usize) {
-        if self.timeline.is_some() {
-            self.tl_note(chip);
-        }
+        self.tl_note(chip);
         let has_work = !self.chips[chip].queues_empty();
         match self.chips[chip].chip.phase() {
             // Deliberately NOT collapsed into a match guard: a failed guard
@@ -636,6 +758,7 @@ impl<'a> Engine<'a> {
                 let done = self.chips[chip].chip.begin_wake(self.now);
                 self.chips[chip].timer_gen += 1; // cancel any armed sleep
                 self.queue.schedule(done, Ev::TransitionDone { chip });
+                self.note_transitions(chip);
                 self.tl_note(chip);
             }
             ChipPhase::GoingDown { .. } if has_work => {
@@ -729,9 +852,17 @@ impl<'a> Engine<'a> {
                     // the performance budget like any other added delay.
                     if let Some(slack) = &mut self.slack {
                         slack.debit_queue(delay);
+                        let balance = slack.slack_ps();
+                        if delay > 0.0 {
+                            self.obs
+                                .slack_debit(self.now, DebitCause::Queue, delay, balance);
+                        }
                     }
                 }
                 self.request_service.record(self.now - arrival);
+                self.served += 1;
+                self.service_sum_ps += (self.now - arrival).as_ps();
+                self.obs.request_served(self.now - arrival);
                 self.dma_serving += self.config.power_model.service_time(req.bytes);
                 if req.is_last {
                     let track = self
@@ -782,14 +913,12 @@ impl<'a> Engine<'a> {
         };
         let done = c.chip.begin_sleep(self.now, target);
         self.queue.schedule(done, Ev::TransitionDone { chip });
+        self.note_transitions(chip);
         self.tl_note(chip);
     }
 
     fn on_transition_done(&mut self, chip: usize) {
-        let was_waking = matches!(
-            self.chips[chip].chip.phase(),
-            ChipPhase::Waking { .. }
-        );
+        let was_waking = matches!(self.chips[chip].chip.phase(), ChipPhase::Waking { .. });
         self.chips[chip].chip.complete_transition(self.now);
         self.tl_note(chip);
         let c = &mut self.chips[chip];
@@ -804,6 +933,7 @@ impl<'a> Engine<'a> {
                 c.wake_requested = false;
                 let done = c.chip.begin_wake(self.now);
                 self.queue.schedule(done, Ev::TransitionDone { chip });
+                self.note_transitions(chip);
             } else {
                 // Arm the next deeper step (thresholds measured from the
                 // start of the idle period).
@@ -828,7 +958,14 @@ impl<'a> Engine<'a> {
         self.last_epoch_tick = self.now;
         if let Some(slack) = &mut self.slack {
             slack.debit_epoch(ta.epoch, self.ta_pending_total);
+            let balance = slack.slack_ps();
+            if self.ta_pending_total > 0 {
+                let amount = ta.epoch.as_ps() as f64 * self.ta_pending_total as f64;
+                self.obs
+                    .slack_debit(self.now, DebitCause::Epoch, amount, balance);
+            }
         }
+        self.obs.epoch_tick(self.now, self.ta_pending_total);
         if self.ta_pending_total > 0 {
             for chip in 0..self.chips.len() {
                 if self.chips[chip].pending_count() > 0 {
@@ -837,8 +974,7 @@ impl<'a> Engine<'a> {
             }
         }
         // Keep ticking while there is (or may still be) work.
-        if !(self.cursor >= trace_len && self.active_transfers == 0 && self.ta_pending_total == 0)
-        {
+        if !(self.cursor >= trace_len && self.active_transfers == 0 && self.ta_pending_total == 0) {
             self.queue.schedule(self.now + ta.epoch, Ev::EpochTick);
         }
     }
@@ -851,11 +987,13 @@ impl<'a> Engine<'a> {
         let bus_bw: f64 = self.config.buses.iter().map(|b| b.bytes_per_sec).sum();
         let rm = self.config.power_model.bandwidth_bytes_per_sec();
         let min_hot = ((pl.p * bus_bw / rm).ceil() as usize).max(1);
-        let moves = {
+        let (moves, stats) = {
             let tracker = self.tracker.as_ref().expect("PL tracker");
-            plan_and_apply_with_floor(tracker, &mut self.page_map, &pl, fpc, min_hot)
+            plan_and_apply_observed(tracker, &mut self.page_map, &pl, fpc, min_hot)
         };
         self.page_moves += moves.len() as u64;
+        self.obs
+            .pl_plan(self.now, stats.hot_pages, stats.hot_chips, &moves);
         // Each move is a page copy: read on the source chip, write on the
         // destination. Both sides burn active cycles billed to the
         // Migration category and really occupy the chips. With small
@@ -933,11 +1071,7 @@ mod tests {
         // Three simultaneous transfers from three buses to the same chip
         // interleave: uf approaches 1.
         let sim = ServerSimulator::new(small_config(), Scheme::baseline());
-        let trace = Trace::from_events(vec![
-            dma_at(0, 0, 0),
-            dma_at(0, 1, 1),
-            dma_at(0, 2, 2),
-        ]);
+        let trace = Trace::from_events(vec![dma_at(0, 0, 0), dma_at(0, 1, 1), dma_at(0, 2, 2)]);
         // Pages 0,1,2 are all on chip 0 under the sequential layout.
         let r = sim.run(&trace);
         assert_eq!(r.transfers, 3);
@@ -966,8 +1100,9 @@ mod tests {
         // Warm-up transfers to a far chip earn the slack; the chip under
         // test has gone to sleep by the time the staggered burst arrives.
         let config = small_config();
-        let mut events: Vec<TraceEvent> =
-            (0..8u64).map(|i| dma_at(i * 10, (i % 3) as usize, 40_000)).collect();
+        let mut events: Vec<TraceEvent> = (0..8u64)
+            .map(|i| dma_at(i * 10, (i % 3) as usize, 40_000))
+            .collect();
         events.extend([dma_at(500, 0, 0), dma_at(503, 1, 1), dma_at(506, 2, 2)]);
         let trace = Trace::from_events(events);
         let baseline = ServerSimulator::new(config.clone(), Scheme::baseline()).run(&trace);
@@ -1042,8 +1177,7 @@ mod tests {
     #[test]
     fn deterministic_across_runs() {
         let config = small_config();
-        let trace = dma_trace::SyntheticStorageGen::default()
-            .generate(SimDuration::from_ms(1), 3);
+        let trace = dma_trace::SyntheticStorageGen::default().generate(SimDuration::from_ms(1), 3);
         let a = ServerSimulator::new(config.clone(), Scheme::dma_ta(0.5)).run(&trace);
         let b = ServerSimulator::new(config, Scheme::dma_ta(0.5)).run(&trace);
         assert_eq!(a.energy, b.energy);
@@ -1055,14 +1189,19 @@ mod tests {
     fn baseline_energy_breakdown_shape() {
         // Idle-DMA waste ~ 2x serving energy; threshold waste small
         // (Figure 2(b) shape).
-        let trace = dma_trace::SyntheticStorageGen::default()
-            .generate(SimDuration::from_ms(5), 11);
+        let trace = dma_trace::SyntheticStorageGen::default().generate(SimDuration::from_ms(5), 11);
         let r = ServerSimulator::new(small_config(), Scheme::baseline()).run(&trace);
         let serving = r.energy.energy_mj(EnergyCategory::ActiveServing);
         let idle_dma = r.energy.energy_mj(EnergyCategory::ActiveIdleDma);
         let threshold = r.energy.energy_mj(EnergyCategory::ActiveIdleThreshold);
-        assert!(idle_dma > serving * 1.5, "idle {idle_dma} vs serving {serving}");
-        assert!(idle_dma < serving * 2.5, "idle {idle_dma} vs serving {serving}");
+        assert!(
+            idle_dma > serving * 1.5,
+            "idle {idle_dma} vs serving {serving}"
+        );
+        assert!(
+            idle_dma < serving * 2.5,
+            "idle {idle_dma} vs serving {serving}"
+        );
         assert!(threshold < idle_dma * 0.3, "threshold {threshold}");
     }
 
@@ -1071,11 +1210,7 @@ mod tests {
         let config = small_config();
         let mut scheme = Scheme::dma_ta(0.5);
         scheme.ta.as_mut().unwrap().cpu_reservation = Some(0.75);
-        let trace = Trace::from_events(vec![
-            dma_at(0, 0, 0),
-            dma_at(0, 1, 1),
-            dma_at(0, 2, 2),
-        ]);
+        let trace = Trace::from_events(vec![dma_at(0, 0, 0), dma_at(0, 1, 1), dma_at(0, 2, 2)]);
         let r = ServerSimulator::new(config.clone(), scheme).run(&trace);
         assert_eq!(r.transfers, 3);
         // The reservation caps DMA utilization below the unreserved run.
@@ -1095,8 +1230,7 @@ mod tests {
         // slot into the chip's inter-request idle gaps instead of blocking
         // requests for whole-page copy times.
         let config = small_config();
-        let trace = dma_trace::SyntheticStorageGen::default()
-            .generate(SimDuration::from_ms(8), 31);
+        let trace = dma_trace::SyntheticStorageGen::default().generate(SimDuration::from_ms(8), 31);
         let blunt = ServerSimulator::new(config.clone(), Scheme::dma_ta_pl(1.0, 2)).run(&trace);
         let mut hidden_scheme = Scheme::dma_ta_pl(1.0, 2);
         hidden_scheme.pl.as_mut().unwrap().migration_chunk_bytes = 8;

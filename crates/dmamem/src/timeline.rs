@@ -5,11 +5,10 @@
 //! every change of each chip's activity state. The simulator feeds it; the
 //! renderer turns it into the paper's up-down timeline pictures in ASCII.
 
-use serde::{Deserialize, Serialize};
 use simcore::{SimDuration, SimTime};
 
 /// What a chip is doing, as drawn in the paper's timelines.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ChipActivity {
     /// Actively serving a DMA-memory request or processor access.
     Serving,
@@ -34,10 +33,21 @@ impl ChipActivity {
             ChipActivity::LowPower => '_',
         }
     }
+
+    /// Stable snake_case tag used in exported events.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChipActivity::Serving => "serving",
+            ChipActivity::IdleDma => "idle_dma",
+            ChipActivity::IdleOther => "idle_other",
+            ChipActivity::Transitioning => "transitioning",
+            ChipActivity::LowPower => "low_power",
+        }
+    }
 }
 
 /// One recorded state segment: `[start, end)` in `activity`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Segment {
     /// Chip index.
     pub chip: usize,
@@ -64,7 +74,7 @@ pub struct Segment {
 /// rec.finish(t0 + SimDuration::from_ns(30));
 /// assert_eq!(rec.segments().len(), 2);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TimelineRecorder {
     window_start: SimTime,
     window_end: SimTime,
@@ -168,9 +178,7 @@ impl TimelineRecorder {
             let mut c: Vec<usize> = self
                 .segments
                 .iter()
-                .filter(|s| {
-                    matches!(s.activity, ChipActivity::Serving | ChipActivity::IdleDma)
-                })
+                .filter(|s| matches!(s.activity, ChipActivity::Serving | ChipActivity::IdleDma))
                 .map(|s| s.chip)
                 .collect();
             c.sort_unstable();
@@ -203,7 +211,10 @@ impl TimelineRecorder {
                     *cell = s.activity.glyph();
                 }
             }
-            out.push_str(&format!("chip {chip:>3} |{}|\n", row.iter().collect::<String>()));
+            out.push_str(&format!(
+                "chip {chip:>3} |{}|\n",
+                row.iter().collect::<String>()
+            ));
         }
         out.push_str("legend: # serving  ~ idle-DMA  . idle  / transition  _ low power\n");
         out

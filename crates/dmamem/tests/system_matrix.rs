@@ -45,7 +45,10 @@ fn every_policy_completes_and_orders_sanely() {
     // Always-active burns the most by far; every managed policy beats it.
     let always = totals[0].1;
     for (policy, t) in &totals[1..] {
-        assert!(*t < always * 0.7, "{policy:?} used {t} vs always-active {always}");
+        assert!(
+            *t < always * 0.7,
+            "{policy:?} used {t} vs always-active {always}"
+        );
     }
 }
 
@@ -53,8 +56,7 @@ fn every_policy_completes_and_orders_sanely() {
 fn tdm_and_per_engine_both_complete() {
     let trace = trace_ms(2);
     for discipline in [BusDiscipline::PerEngine, BusDiscipline::TimeDivision] {
-        let config =
-            base_config().with_buses(3, BusConfig::pci_x().with_discipline(discipline));
+        let config = base_config().with_buses(3, BusConfig::pci_x().with_discipline(discipline));
         let r = ServerSimulator::new(config, Scheme::dma_ta(1.0)).run(&trace);
         assert_eq!(r.transfers, trace.stats().dma_transfers());
         // uf near 1/3 either way at light load.
@@ -69,7 +71,11 @@ fn request_granularity_preserves_figure2a_ratio() {
     for bytes in [8u64, 16, 64, 512] {
         let config = base_config().with_buses(3, BusConfig::pci_x().with_request_bytes(bytes));
         let r = ServerSimulator::new(config, Scheme::baseline()).run(&trace);
-        assert_eq!(r.transfers, trace.stats().dma_transfers(), "{bytes}B lost transfers");
+        assert_eq!(
+            r.transfers,
+            trace.stats().dma_transfers(),
+            "{bytes}B lost transfers"
+        );
         // Serving time is granularity-independent (same bytes moved).
         let serving_ns = r.dma_serving.as_ns_f64();
         let expect = trace.stats().dma_bytes as f64 / 3.2e9 * 1e9;

@@ -39,7 +39,6 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use serde::{Deserialize, Serialize};
 use simcore::{SimDuration, SimTime};
 
 /// Index of an I/O bus in the system.
@@ -52,7 +51,7 @@ pub type TransferId = u64;
 pub type PageId = u64;
 
 /// Direction of a DMA transfer relative to main memory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DmaDirection {
     /// Memory is read; data flows out (e.g. buffer cache to network).
     FromMemory,
@@ -61,7 +60,7 @@ pub enum DmaDirection {
 }
 
 /// Which device class initiated a DMA transfer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DmaSource {
     /// A network interface (SAN / NIC).
     Network,
@@ -79,7 +78,7 @@ impl std::fmt::Display for DmaSource {
 }
 
 /// How concurrent DMA streams share a bus.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BusDiscipline {
     /// Each DMA engine paces its own stream at the bus data rate,
     /// independent of other streams (split-transaction / multi-master
@@ -94,7 +93,7 @@ pub enum BusDiscipline {
 }
 
 /// Static configuration of one I/O bus.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BusConfig {
     /// Sustained bus data rate in bytes per second.
     pub bytes_per_sec: f64,
@@ -174,7 +173,7 @@ impl Default for BusConfig {
 
 /// One large DMA operation: a page-sized block moving between memory and a
 /// device over a specific bus.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DmaTransfer {
     /// Unique transfer id.
     pub id: TransferId,
@@ -217,7 +216,7 @@ impl DmaTransfer {
 }
 
 /// One DMA-memory request as it appears at the memory controller.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DmaRequest {
     /// Transfer this request belongs to.
     pub transfer: TransferId,
@@ -441,7 +440,14 @@ mod tests {
     use super::*;
 
     fn xfer(id: TransferId, page: PageId, bytes: u64) -> DmaTransfer {
-        DmaTransfer::new(id, 0, page, bytes, DmaDirection::FromMemory, DmaSource::Network)
+        DmaTransfer::new(
+            id,
+            0,
+            page,
+            bytes,
+            DmaDirection::FromMemory,
+            DmaSource::Network,
+        )
     }
 
     fn drain(bus: &mut Bus, mut now: SimTime, auto_ack: bool) -> Vec<(SimTime, DmaRequest)> {
@@ -512,7 +518,10 @@ mod tests {
 
     #[test]
     fn two_streams_share_round_robin() {
-        let mut bus = Bus::new(0, BusConfig::pci_x().with_discipline(BusDiscipline::TimeDivision));
+        let mut bus = Bus::new(
+            0,
+            BusConfig::pci_x().with_discipline(BusDiscipline::TimeDivision),
+        );
         bus.add_transfer(SimTime::ZERO, xfer(1, 10, 32)); // 4 reqs
         bus.add_transfer(SimTime::ZERO, xfer(2, 20, 32)); // 4 reqs
         let reqs = drain(&mut bus, SimTime::ZERO, true);
@@ -525,7 +534,10 @@ mod tests {
 
     #[test]
     fn blocked_stream_does_not_stall_others() {
-        let mut bus = Bus::new(0, BusConfig::pci_x().with_discipline(BusDiscipline::TimeDivision));
+        let mut bus = Bus::new(
+            0,
+            BusConfig::pci_x().with_discipline(BusDiscipline::TimeDivision),
+        );
         bus.add_transfer(SimTime::ZERO, xfer(1, 10, 32));
         bus.add_transfer(SimTime::ZERO, xfer(2, 20, 32));
         // Issue both firsts; ack only transfer 2.
@@ -569,7 +581,10 @@ mod tests {
 
     #[test]
     fn issue_respects_slot_occupancy() {
-        let mut bus = Bus::new(0, BusConfig::pci_x().with_discipline(BusDiscipline::TimeDivision));
+        let mut bus = Bus::new(
+            0,
+            BusConfig::pci_x().with_discipline(BusDiscipline::TimeDivision),
+        );
         bus.add_transfer(SimTime::ZERO, xfer(1, 3, 8192));
         let _ = bus.issue(SimTime::ZERO);
         bus.ack_first(1, SimTime::ZERO);
@@ -594,7 +609,10 @@ mod tests {
 
     #[test]
     fn three_streams_removal_keeps_rotation_fair() {
-        let mut bus = Bus::new(0, BusConfig::pci_x().with_discipline(BusDiscipline::TimeDivision));
+        let mut bus = Bus::new(
+            0,
+            BusConfig::pci_x().with_discipline(BusDiscipline::TimeDivision),
+        );
         bus.add_transfer(SimTime::ZERO, xfer(1, 1, 16)); // 2 reqs
         bus.add_transfer(SimTime::ZERO, xfer(2, 2, 32)); // 4 reqs
         bus.add_transfer(SimTime::ZERO, xfer(3, 3, 32)); // 4 reqs

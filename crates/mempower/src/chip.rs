@@ -36,6 +36,20 @@ pub enum ChipPhase {
     },
 }
 
+/// One recorded power-mode transition (see
+/// [`Chip::enable_transition_log`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransitionEvent {
+    /// When the transition began.
+    pub at: SimTime,
+    /// Mode being left.
+    pub from: PowerMode,
+    /// Mode being entered.
+    pub to: PowerMode,
+    /// Transition latency.
+    pub latency: SimDuration,
+}
+
 /// One memory chip: power mode, service occupancy, and energy ledger.
 ///
 /// # Example
@@ -63,6 +77,7 @@ pub struct Chip {
     last_activity: SimTime,
     services: u64,
     wakes: u64,
+    transition_log: Option<Vec<TransitionEvent>>,
 }
 
 impl Chip {
@@ -80,6 +95,40 @@ impl Chip {
             last_activity: SimTime::ZERO,
             services: 0,
             wakes: 0,
+            transition_log: None,
+        }
+    }
+
+    /// Starts recording every power-mode transition this chip begins; the
+    /// driver drains them with [`Chip::take_transition_events`]. Off by
+    /// default (the log grows unboundedly if never drained).
+    pub fn enable_transition_log(&mut self) {
+        self.transition_log = Some(Vec::new());
+    }
+
+    /// Drains the recorded transitions (empty unless
+    /// [`Chip::enable_transition_log`] was called).
+    pub fn take_transition_events(&mut self) -> Vec<TransitionEvent> {
+        match &mut self.transition_log {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
+    }
+
+    fn log_transition(
+        &mut self,
+        at: SimTime,
+        from: PowerMode,
+        to: PowerMode,
+        latency: SimDuration,
+    ) {
+        if let Some(log) = &mut self.transition_log {
+            log.push(TransitionEvent {
+                at,
+                from,
+                to,
+                latency,
+            });
         }
     }
 
@@ -200,9 +249,11 @@ impl Chip {
                     (limit, EnergyCategory::ActiveIdleThreshold, active)
                 }
             }
-            ChipPhase::Steady(mode) => {
-                (limit, EnergyCategory::LowPower, self.model.mode_power_mw(mode))
-            }
+            ChipPhase::Steady(mode) => (
+                limit,
+                EnergyCategory::LowPower,
+                self.model.mode_power_mw(mode),
+            ),
         }
     }
 
@@ -264,8 +315,10 @@ impl Chip {
             self.id,
             self.busy_until
         );
-        let until = now + self.model.down(to).latency;
+        let latency = self.model.down(to).latency;
+        let until = now + latency;
         self.phase = ChipPhase::GoingDown { to, until };
+        self.log_transition(now, current, to, latency);
         until
     }
 
@@ -284,9 +337,11 @@ impl Chip {
                 self.id, self.phase
             ),
         };
-        let until = now + self.model.wake(from).latency;
+        let latency = self.model.wake(from).latency;
+        let until = now + latency;
         self.phase = ChipPhase::Waking { from, until };
         self.wakes += 1;
+        self.log_transition(now, from, PowerMode::Active, latency);
         until
     }
 
@@ -326,7 +381,11 @@ impl Chip {
     /// Panics if no transfer is in flight.
     pub fn dma_transfer_ended(&mut self, now: SimTime) {
         self.sync(now);
-        assert!(self.inflight_dma > 0, "chip {} had no in-flight DMA", self.id);
+        assert!(
+            self.inflight_dma > 0,
+            "chip {} had no in-flight DMA",
+            self.id
+        );
         self.inflight_dma -= 1;
         if self.inflight_dma == 0 {
             // End of DMA activity: idleness (for threshold purposes) starts
@@ -391,7 +450,10 @@ mod tests {
         let model = PowerModel::rdram();
         let mut c = Chip::new(0, model.clone());
         let down_done = c.begin_sleep(at(0), PowerMode::Nap);
-        assert_eq!(down_done, SimTime::ZERO + model.down(PowerMode::Nap).latency);
+        assert_eq!(
+            down_done,
+            SimTime::ZERO + model.down(PowerMode::Nap).latency
+        );
         c.complete_transition(down_done);
         assert_eq!(c.mode(), Some(PowerMode::Nap));
 
@@ -405,8 +467,8 @@ mod tests {
         let e = c.energy();
         let down = model.down(PowerMode::Nap);
         let wake = model.wake(PowerMode::Nap);
-        let expect_transition_mj = down.power_mw * down.latency.as_secs_f64()
-            + wake.power_mw * wake.latency.as_secs_f64();
+        let expect_transition_mj =
+            down.power_mw * down.latency.as_secs_f64() + wake.power_mw * wake.latency.as_secs_f64();
         assert!((e.energy_mj(EnergyCategory::Transition) - expect_transition_mj).abs() < 1e-15);
         assert!(e.time(EnergyCategory::LowPower) > SimDuration::ZERO);
         // Low-power span = 1000 ns - 5 ns down latency.
@@ -419,7 +481,10 @@ mod tests {
         c.begin_service(at(0), ns(10), EnergyCategory::Migration);
         c.sync(at(10));
         assert_eq!(c.energy().time(EnergyCategory::Migration), ns(10));
-        assert_eq!(c.energy().time(EnergyCategory::ActiveServing), SimDuration::ZERO);
+        assert_eq!(
+            c.energy().time(EnergyCategory::ActiveServing),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -471,6 +536,33 @@ mod tests {
     fn unbalanced_dma_end_panics() {
         let mut c = Chip::new(0, PowerModel::rdram());
         c.dma_transfer_ended(at(0));
+    }
+
+    #[test]
+    fn transition_log_records_sleep_and_wake() {
+        let model = PowerModel::rdram();
+        let mut c = Chip::new(0, model.clone());
+        assert!(c.take_transition_events().is_empty());
+        c.enable_transition_log();
+        let down = c.begin_sleep(at(0), PowerMode::Nap);
+        c.complete_transition(down);
+        let wake = c.begin_wake(at(1000));
+        c.complete_transition(wake);
+        let events = c.take_transition_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[0],
+            TransitionEvent {
+                at: at(0),
+                from: PowerMode::Active,
+                to: PowerMode::Nap,
+                latency: model.down(PowerMode::Nap).latency,
+            }
+        );
+        assert_eq!(events[1].to, PowerMode::Active);
+        assert_eq!(events[1].latency, model.wake(PowerMode::Nap).latency);
+        // Draining empties the log.
+        assert!(c.take_transition_events().is_empty());
     }
 
     #[test]

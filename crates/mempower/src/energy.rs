@@ -3,12 +3,11 @@
 use std::fmt;
 use std::ops::{Add, AddAssign};
 
-use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
 
 /// Where a joule went. These are exactly the stacked-bar components of the
 /// paper's Figures 2(b) and 6.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EnergyCategory {
     /// Active mode, actually moving data for a DMA-memory request or a
     /// processor access.
@@ -83,7 +82,7 @@ impl fmt::Display for EnergyCategory {
 /// assert!((e.total_mj() - 0.000303).abs() < 1e-9);
 /// assert!(e.fraction(EnergyCategory::ActiveServing) > 0.98);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EnergyBreakdown {
     energy_mj: [f64; 6],
     time: [SimDuration; 6],
@@ -210,9 +209,16 @@ mod tests {
     fn add_accumulates_energy_and_time() {
         let mut e = EnergyBreakdown::new();
         // 300 mW for 1 ms = 0.3 mJ.
-        e.accrue(EnergyCategory::ActiveServing, 300.0, SimDuration::from_ms(1));
+        e.accrue(
+            EnergyCategory::ActiveServing,
+            300.0,
+            SimDuration::from_ms(1),
+        );
         assert!((e.energy_mj(EnergyCategory::ActiveServing) - 0.3).abs() < 1e-12);
-        assert_eq!(e.time(EnergyCategory::ActiveServing), SimDuration::from_ms(1));
+        assert_eq!(
+            e.time(EnergyCategory::ActiveServing),
+            SimDuration::from_ms(1)
+        );
         assert_eq!(e.energy_mj(EnergyCategory::LowPower), 0.0);
     }
 
@@ -237,12 +243,20 @@ mod tests {
     #[test]
     fn savings_vs_baseline() {
         let mut base = EnergyBreakdown::new();
-        base.accrue(EnergyCategory::ActiveIdleDma, 100.0, SimDuration::from_ms(1));
+        base.accrue(
+            EnergyCategory::ActiveIdleDma,
+            100.0,
+            SimDuration::from_ms(1),
+        );
         let mut better = EnergyBreakdown::new();
         better.accrue(EnergyCategory::ActiveIdleDma, 60.0, SimDuration::from_ms(1));
         assert!((better.savings_vs(&base) - 0.4).abs() < 1e-12);
         let mut worse = EnergyBreakdown::new();
-        worse.accrue(EnergyCategory::ActiveIdleDma, 150.0, SimDuration::from_ms(1));
+        worse.accrue(
+            EnergyCategory::ActiveIdleDma,
+            150.0,
+            SimDuration::from_ms(1),
+        );
         assert!(worse.savings_vs(&base) < 0.0);
     }
 
@@ -250,8 +264,16 @@ mod tests {
     fn utilization_factor_one_third() {
         // Figure 2(a): serving 4 of every 12 cycles => uf = 1/3.
         let mut e = EnergyBreakdown::new();
-        e.accrue(EnergyCategory::ActiveServing, 300.0, SimDuration::from_ns(4));
-        e.accrue(EnergyCategory::ActiveIdleDma, 300.0, SimDuration::from_ns(8));
+        e.accrue(
+            EnergyCategory::ActiveServing,
+            300.0,
+            SimDuration::from_ns(4),
+        );
+        e.accrue(
+            EnergyCategory::ActiveIdleDma,
+            300.0,
+            SimDuration::from_ns(8),
+        );
         assert!((e.utilization_factor() - 1.0 / 3.0).abs() < 1e-12);
     }
 
@@ -265,7 +287,10 @@ mod tests {
         merged.merge(&b);
         let added = a + b;
         assert_eq!(merged, added);
-        assert_eq!(merged.time(EnergyCategory::Transition), SimDuration::from_us(5));
+        assert_eq!(
+            merged.time(EnergyCategory::Transition),
+            SimDuration::from_us(5)
+        );
     }
 
     #[test]

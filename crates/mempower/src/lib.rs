@@ -39,6 +39,6 @@ mod energy;
 mod model;
 pub mod policy;
 
-pub use chip::{Chip, ChipId, ChipPhase};
+pub use chip::{Chip, ChipId, ChipPhase, TransitionEvent};
 pub use energy::{EnergyBreakdown, EnergyCategory};
 pub use model::{PowerMode, PowerModel, TransitionSpec};

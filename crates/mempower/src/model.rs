@@ -1,12 +1,11 @@
 //! The memory power model: modes, powers, and transition costs.
 
-use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
 
 /// A power mode of a memory chip (paper Section 2.2, RDRAM).
 ///
 /// Data is preserved in every mode; only `Active` can serve reads/writes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PowerMode {
     /// Fully operational; the only mode that can serve requests.
     Active,
@@ -56,7 +55,7 @@ impl std::fmt::Display for PowerMode {
 }
 
 /// Power drawn and time taken by one power-mode transition.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransitionSpec {
     /// Power drawn while transitioning, in milliwatts.
     pub power_mw: f64,
@@ -81,7 +80,7 @@ pub struct TransitionSpec {
 /// assert_eq!(m.mode_power_mw(PowerMode::Active), 300.0);
 /// assert_eq!(m.wake(PowerMode::Powerdown).latency.as_ns_f64(), 6000.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerModel {
     mode_power_mw: [f64; 4],
     down: [TransitionSpec; 3],
@@ -123,14 +122,32 @@ impl PowerModel {
         PowerModel {
             mode_power_mw: [300.0, 180.0, 30.0, 3.0],
             down: [
-                TransitionSpec { power_mw: 240.0, latency: cycle },
-                TransitionSpec { power_mw: 160.0, latency: cycle * 8 },
-                TransitionSpec { power_mw: 15.0, latency: cycle * 8 },
+                TransitionSpec {
+                    power_mw: 240.0,
+                    latency: cycle,
+                },
+                TransitionSpec {
+                    power_mw: 160.0,
+                    latency: cycle * 8,
+                },
+                TransitionSpec {
+                    power_mw: 15.0,
+                    latency: cycle * 8,
+                },
             ],
             wake: [
-                TransitionSpec { power_mw: 240.0, latency: SimDuration::from_ns(6) },
-                TransitionSpec { power_mw: 160.0, latency: SimDuration::from_ns(60) },
-                TransitionSpec { power_mw: 15.0, latency: SimDuration::from_ns(6000) },
+                TransitionSpec {
+                    power_mw: 240.0,
+                    latency: SimDuration::from_ns(6),
+                },
+                TransitionSpec {
+                    power_mw: 160.0,
+                    latency: SimDuration::from_ns(60),
+                },
+                TransitionSpec {
+                    power_mw: 15.0,
+                    latency: SimDuration::from_ns(6000),
+                },
             ],
             bandwidth_bytes_per_sec: 3.2e9,
             chip_bytes: 32 * 1024 * 1024,
@@ -271,18 +288,27 @@ mod tests {
         assert_eq!(m.mode_power_mw(PowerMode::Powerdown), 3.0);
 
         assert_eq!(m.down(PowerMode::Standby).power_mw, 240.0);
-        assert_eq!(m.down(PowerMode::Standby).latency, SimDuration::from_ps(625));
+        assert_eq!(
+            m.down(PowerMode::Standby).latency,
+            SimDuration::from_ps(625)
+        );
         assert_eq!(m.down(PowerMode::Nap).power_mw, 160.0);
         assert_eq!(m.down(PowerMode::Nap).latency, SimDuration::from_ps(5000));
         assert_eq!(m.down(PowerMode::Powerdown).power_mw, 15.0);
-        assert_eq!(m.down(PowerMode::Powerdown).latency, SimDuration::from_ps(5000));
+        assert_eq!(
+            m.down(PowerMode::Powerdown).latency,
+            SimDuration::from_ps(5000)
+        );
 
         assert_eq!(m.wake(PowerMode::Standby).power_mw, 240.0);
         assert_eq!(m.wake(PowerMode::Standby).latency, SimDuration::from_ns(6));
         assert_eq!(m.wake(PowerMode::Nap).power_mw, 160.0);
         assert_eq!(m.wake(PowerMode::Nap).latency, SimDuration::from_ns(60));
         assert_eq!(m.wake(PowerMode::Powerdown).power_mw, 15.0);
-        assert_eq!(m.wake(PowerMode::Powerdown).latency, SimDuration::from_ns(6000));
+        assert_eq!(
+            m.wake(PowerMode::Powerdown).latency,
+            SimDuration::from_ns(6000)
+        );
     }
 
     #[test]

@@ -26,8 +26,11 @@ pub trait PowerPolicy: std::fmt::Debug + Send {
     /// Given a chip settled in `current` and continuously idle since
     /// `idle_start`, returns the next down-transition as
     /// `(target mode, instant to begin)`, or `None` to stay put.
-    fn next_step(&mut self, current: PowerMode, idle_start: SimTime)
-        -> Option<(PowerMode, SimTime)>;
+    fn next_step(
+        &mut self,
+        current: PowerMode,
+        idle_start: SimTime,
+    ) -> Option<(PowerMode, SimTime)>;
 
     /// Feedback hook: reports the length of a completed idle period (from
     /// idle start to the wake-triggering request). Adaptive policies use
@@ -386,8 +389,14 @@ mod tests {
             Some(SimDuration::from_ns(40)),
         )
         .scaled(3.0);
-        assert_eq!(p.threshold(PowerMode::Standby), Some(SimDuration::from_ns(30)));
-        assert_eq!(p.threshold(PowerMode::Powerdown), Some(SimDuration::from_ns(120)));
+        assert_eq!(
+            p.threshold(PowerMode::Standby),
+            Some(SimDuration::from_ns(30))
+        );
+        assert_eq!(
+            p.threshold(PowerMode::Powerdown),
+            Some(SimDuration::from_ns(120))
+        );
     }
 
     #[test]

@@ -66,7 +66,9 @@ impl Zipf {
     pub fn sample(&self, rng: &mut DetRng) -> usize {
         let u = rng.uniform();
         // partition_point returns the first index whose cumulative >= u.
-        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.cumulative.len() - 1)
     }
 
     /// Probability mass of `rank`.
@@ -76,7 +78,11 @@ impl Zipf {
     /// Panics if `rank` is out of range.
     pub fn pmf(&self, rank: usize) -> f64 {
         let hi = self.cumulative[rank];
-        let lo = if rank == 0 { 0.0 } else { self.cumulative[rank - 1] };
+        let lo = if rank == 0 {
+            0.0
+        } else {
+            self.cumulative[rank - 1]
+        };
         hi - lo
     }
 
@@ -202,7 +208,9 @@ impl Empirical {
     /// Draws an outcome index.
     pub fn sample(&self, rng: &mut DetRng) -> usize {
         let u = rng.uniform();
-        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.cumulative.len() - 1)
     }
 }
 

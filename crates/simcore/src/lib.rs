@@ -13,6 +13,9 @@
 //!   Zipf page popularity).
 //! * [`stats`] — online statistics (mean/variance, histograms, quantiles)
 //!   used for energy and response-time accounting.
+//! * [`obs`] — the observability layer: a named-metric registry (counters,
+//!   gauges, log-scale histograms), a ring-buffered typed-event sink with
+//!   JSONL export, and scoped wall-clock span timers.
 //!
 //! # Example
 //!
@@ -29,8 +32,9 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-mod event;
 pub mod dist;
+mod event;
+pub mod obs;
 pub mod rng;
 pub mod stats;
 mod time;

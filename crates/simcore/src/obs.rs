@@ -1,0 +1,47 @@
+//! Observability layer: metrics registry, structured event tracing, and
+//! span timers.
+//!
+//! Everything here is std-only and single-threaded by design (the
+//! simulator event loop is single-threaded, and cheap `Rc`-based handles
+//! keep instrumentation off the hot path's allocator).
+//!
+//! The layer has three pillars:
+//!
+//! * [`metrics`] — a [`MetricsRegistry`](metrics::MetricsRegistry) that
+//!   components register **counters**, **gauges**, and log₂-bucketed
+//!   streaming **histograms** into by dotted name
+//!   (`"<subsystem>.<quantity>[_<unit>]"`, e.g. `dmamem.wakes` or
+//!   `sim.dispatch_ns`). Snapshots are mergeable across runs and export
+//!   as JSON.
+//! * [`events`] — a ring-buffered [`EventSink`](events::EventSink) of
+//!   typed simulation events with sim-timestamps, exportable as JSONL
+//!   (one JSON object per line: `seq`, `t_ps`, `kind`, then
+//!   event-specific fields).
+//! * [`span`] — scoped wall-clock [`SpanTimer`](span::SpanTimer)s for
+//!   profiling simulator hot paths; samples land in a registry histogram
+//!   named `span.<name>_ns`.
+//!
+//! A tiny dependency-free JSON writer lives in [`json`]; both exporters
+//! use it.
+//!
+//! # Example
+//!
+//! ```
+//! use simcore::obs::metrics::MetricsRegistry;
+//!
+//! let registry = MetricsRegistry::new();
+//! let wakes = registry.counter("dmamem.wakes");
+//! wakes.inc();
+//! wakes.add(2);
+//! assert_eq!(registry.snapshot().counter("dmamem.wakes"), Some(3));
+//! ```
+
+pub mod events;
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use events::{EventSink, ObsEvent};
+pub use json::JsonObject;
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
+pub use span::SpanTimer;

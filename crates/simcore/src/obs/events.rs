@@ -1,0 +1,184 @@
+//! Structured sim-event tracing: a ring-buffered sink with JSONL export.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+
+use super::json::JsonObject;
+
+/// A typed simulation event that knows how to describe itself.
+///
+/// Implementors provide a stable `kind` tag, the simulation timestamp in
+/// picoseconds, and their payload fields; the sink supplies the envelope
+/// (`seq`, `t_ps`, `kind`).
+pub trait ObsEvent {
+    /// Stable event-type tag (snake_case, e.g. `"mode_transition"`).
+    fn kind(&self) -> &'static str;
+
+    /// Simulation timestamp in picoseconds.
+    fn timestamp_ps(&self) -> u64;
+
+    /// Appends the event's payload fields to `obj`.
+    fn write_fields(&self, obj: &mut JsonObject);
+}
+
+/// A bounded, ring-buffered sink of typed events.
+///
+/// When the buffer is full the **oldest** events are dropped (and
+/// counted), so a long run keeps its most recent history — sequence
+/// numbers stay globally consistent either way.
+///
+/// # Example
+///
+/// ```
+/// use simcore::obs::{EventSink, JsonObject, ObsEvent};
+///
+/// struct Tick(u64);
+/// impl ObsEvent for Tick {
+///     fn kind(&self) -> &'static str { "tick" }
+///     fn timestamp_ps(&self) -> u64 { self.0 }
+///     fn write_fields(&self, _obj: &mut JsonObject) {}
+/// }
+///
+/// let mut sink = EventSink::new(16);
+/// sink.record(Tick(1_000));
+/// assert_eq!(sink.to_jsonl(), "{\"seq\":0,\"t_ps\":1000,\"kind\":\"tick\"}\n");
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventSink<E> {
+    buf: VecDeque<(u64, E)>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl<E: ObsEvent> EventSink<E> {
+    /// Creates a sink holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "zero-capacity event sink");
+        EventSink {
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            next_seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends one event, evicting the oldest if the sink is full.
+    pub fn record(&mut self, event: E) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back((self.next_seq, event));
+        self.next_seq += 1;
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The sink's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever recorded (buffered + dropped).
+    pub fn recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Iterates the buffered events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &E> {
+        self.buf.iter().map(|(_, e)| e)
+    }
+
+    /// Renders one event as its JSONL line (no trailing newline).
+    fn line(seq: u64, event: &E) -> String {
+        let mut obj = JsonObject::new();
+        obj.field_u64("seq", seq)
+            .field_u64("t_ps", event.timestamp_ps())
+            .field_str("kind", event.kind());
+        event.write_fields(&mut obj);
+        obj.finish()
+    }
+
+    /// Writes the buffered events as JSONL (one JSON object per line).
+    pub fn export_jsonl<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        for (seq, e) in &self.buf {
+            writeln!(w, "{}", Self::line(*seq, e))?;
+        }
+        Ok(())
+    }
+
+    /// The buffered events as a JSONL string.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (seq, e) in &self.buf {
+            out.push_str(&Self::line(*seq, e));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Probe {
+        t: u64,
+        label: &'static str,
+    }
+
+    impl ObsEvent for Probe {
+        fn kind(&self) -> &'static str {
+            "probe"
+        }
+        fn timestamp_ps(&self) -> u64 {
+            self.t
+        }
+        fn write_fields(&self, obj: &mut JsonObject) {
+            obj.field_str("label", self.label);
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_keeps_seq() {
+        let mut sink = EventSink::new(2);
+        for (i, label) in ["a", "b", "c"].iter().enumerate() {
+            sink.record(Probe { t: i as u64, label });
+        }
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.dropped(), 1);
+        assert_eq!(sink.recorded(), 3);
+        let jsonl = sink.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains(r#""seq":1"#) && lines[0].contains(r#""label":"b""#));
+        assert!(lines[1].contains(r#""seq":2"#) && lines[1].contains(r#""label":"c""#));
+    }
+
+    #[test]
+    fn export_matches_to_jsonl() {
+        let mut sink = EventSink::new(8);
+        sink.record(Probe { t: 5, label: "x" });
+        let mut bytes = Vec::new();
+        sink.export_jsonl(&mut bytes).unwrap();
+        assert_eq!(String::from_utf8(bytes).unwrap(), sink.to_jsonl());
+    }
+}

@@ -1,0 +1,178 @@
+//! A minimal JSON writer (no external dependencies).
+//!
+//! The observability exporters only ever *write* JSON — flat objects of
+//! strings, numbers, and booleans, plus pre-rendered nested values — so
+//! this module provides exactly that: an append-only object builder with
+//! correct string escaping and IEEE-754-safe number formatting.
+
+/// Builds one JSON object by appending fields in order.
+///
+/// # Example
+///
+/// ```
+/// use simcore::obs::json::JsonObject;
+///
+/// let mut obj = JsonObject::new();
+/// obj.field_str("kind", "wake");
+/// obj.field_u64("chip", 3);
+/// assert_eq!(obj.finish(), r#"{"kind":"wake","chip":3}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+    any: bool,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObject {
+            buf: String::from("{"),
+            any: false,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        self.buf.push('"');
+        escape_into(&mut self.buf, key);
+        self.buf.push_str("\":");
+    }
+
+    /// Appends a string field (escaped).
+    pub fn field_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push('"');
+        escape_into(&mut self.buf, value);
+        self.buf.push('"');
+        self
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn field_u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Appends a signed integer field.
+    pub fn field_i64(&mut self, key: &str, value: i64) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Appends a float field. Non-finite values render as `null` (JSON has
+    /// no NaN/Infinity).
+    pub fn field_f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        if value.is_finite() {
+            self.buf.push_str(&format_f64(value));
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Appends a boolean field.
+    pub fn field_bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Appends a pre-rendered JSON value verbatim (for nesting objects or
+    /// arrays built elsewhere). The caller guarantees `raw` is valid JSON.
+    pub fn field_raw(&mut self, key: &str, raw: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(raw);
+        self
+    }
+
+    /// Closes the object and returns its text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Formats a finite float as a JSON number (Rust's shortest round-trip
+/// representation; integer-looking output like `4` is still valid JSON).
+fn format_f64(value: f64) -> String {
+    format!("{value}")
+}
+
+/// Escapes `s` into `buf` per RFC 8259 (quote, backslash, control chars).
+pub fn escape_into(buf: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                buf.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => buf.push(c),
+        }
+    }
+}
+
+/// Renders a string map as a JSON object with raw (pre-rendered) values,
+/// preserving iteration order.
+pub fn object_from_raw<'a>(pairs: impl Iterator<Item = (&'a str, String)>) -> String {
+    let mut obj = JsonObject::new();
+    for (k, v) in pairs {
+        obj.field_raw(k, &v);
+    }
+    obj.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fields_render_in_order() {
+        let mut obj = JsonObject::new();
+        obj.field_str("a", "x")
+            .field_u64("b", 7)
+            .field_i64("c", -2)
+            .field_bool("d", true);
+        assert_eq!(obj.finish(), r#"{"a":"x","b":7,"c":-2,"d":true}"#);
+    }
+
+    #[test]
+    fn empty_object_is_braces() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut obj = JsonObject::new();
+        obj.field_str("k", "a\"b\\c\nd\te\u{1}");
+        assert_eq!(obj.finish(), "{\"k\":\"a\\\"b\\\\c\\nd\\te\\u0001\"}");
+    }
+
+    #[test]
+    fn floats_and_non_finite() {
+        let mut obj = JsonObject::new();
+        obj.field_f64("x", 1.5)
+            .field_f64("y", f64::NAN)
+            .field_f64("z", f64::INFINITY);
+        assert_eq!(obj.finish(), r#"{"x":1.5,"y":null,"z":null}"#);
+    }
+
+    #[test]
+    fn raw_nesting() {
+        let mut inner = JsonObject::new();
+        inner.field_u64("n", 1);
+        let mut outer = JsonObject::new();
+        outer.field_raw("inner", &inner.finish());
+        assert_eq!(outer.finish(), r#"{"inner":{"n":1}}"#);
+    }
+}

@@ -1,0 +1,119 @@
+//! Scoped wall-clock span timers for profiling simulator hot paths.
+//!
+//! A [`SpanTimer`] wraps a registry histogram named `span.<name>_ns`;
+//! each completed span records its elapsed wall-clock nanoseconds. Use
+//! the RAII guard from [`SpanTimer::start`] or the closure form
+//! [`SpanTimer::time`].
+
+use std::time::Instant;
+
+use super::metrics::{Histogram, MetricsRegistry};
+
+/// A named wall-clock timer backed by a registry histogram.
+///
+/// # Example
+///
+/// ```
+/// use simcore::obs::metrics::MetricsRegistry;
+/// use simcore::obs::span::SpanTimer;
+///
+/// let registry = MetricsRegistry::new();
+/// let timer = SpanTimer::new(&registry, "event_loop");
+/// {
+///     let _guard = timer.start();
+///     // ... hot path work ...
+/// }
+/// assert_eq!(timer.samples(), 1);
+/// assert!(registry.snapshot().histograms.contains_key("span.event_loop_ns"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpanTimer {
+    hist: Histogram,
+}
+
+impl SpanTimer {
+    /// Creates (or reattaches to) the timer named `name` in `registry`.
+    pub fn new(registry: &MetricsRegistry, name: &str) -> Self {
+        SpanTimer {
+            hist: registry.histogram(&format!("span.{name}_ns")),
+        }
+    }
+
+    /// Starts a span; the elapsed time records when the guard drops.
+    pub fn start(&self) -> SpanGuard<'_> {
+        SpanGuard {
+            timer: self,
+            started: Instant::now(),
+        }
+    }
+
+    /// Times a closure and returns its result.
+    pub fn time<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _guard = self.start();
+        f()
+    }
+
+    /// Number of completed spans.
+    pub fn samples(&self) -> u64 {
+        self.hist.count()
+    }
+
+    /// Total nanoseconds across completed spans.
+    pub fn total_ns(&self) -> u64 {
+        self.hist.sum()
+    }
+
+    fn record(&self, started: Instant) {
+        let ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.hist.record(ns);
+    }
+}
+
+/// RAII guard recording the span duration on drop.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    timer: &'a SpanTimer,
+    started: Instant,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.timer.record(self.started);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_records_on_drop() {
+        let reg = MetricsRegistry::new();
+        let t = SpanTimer::new(&reg, "unit");
+        {
+            let _g = t.start();
+        }
+        assert_eq!(t.samples(), 1);
+    }
+
+    #[test]
+    fn closure_form_returns_value() {
+        let reg = MetricsRegistry::new();
+        let t = SpanTimer::new(&reg, "closure");
+        let v = t.time(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert_eq!(t.samples(), 1);
+        let snap = reg.snapshot();
+        assert_eq!(snap.histograms["span.closure_ns"].count, 1);
+    }
+
+    #[test]
+    fn timers_with_same_name_share_history() {
+        let reg = MetricsRegistry::new();
+        let a = SpanTimer::new(&reg, "shared");
+        let b = SpanTimer::new(&reg, "shared");
+        a.time(|| ());
+        b.time(|| ());
+        assert_eq!(a.samples(), 2);
+    }
+}

@@ -1,15 +1,17 @@
 //! Deterministic random numbers for workload generation.
 //!
 //! Every simulator entry point takes an explicit `u64` seed; this module
-//! wraps [`rand::rngs::SmallRng`] so no other part of the workspace depends
-//! on `rand`'s API surface directly, and so samplers the paper's workloads
-//! need (exponential inter-arrival times for Poisson processes) live in one
-//! audited place.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//! implements a self-contained xoshiro256++ generator (seeded through
+//! splitmix64) so no part of the workspace depends on an external RNG
+//! crate, and so samplers the paper's workloads need (exponential
+//! inter-arrival times for Poisson processes) live in one audited place.
 
 /// A deterministic random-number generator.
+///
+/// The core is xoshiro256++ (Blackman & Vigna), a 256-bit-state
+/// generator with period 2^256 − 1; the state is expanded from the
+/// `u64` seed with splitmix64 so that nearby seeds yield decorrelated
+/// streams.
 ///
 /// # Example
 ///
@@ -22,16 +24,33 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+/// splitmix64 step: advances `x` and returns the next output.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl DetRng {
     /// Creates a generator from a seed. The same seed always produces the
     /// same stream.
     pub fn new(seed: u64) -> Self {
-        DetRng {
-            inner: SmallRng::seed_from_u64(seed),
+        let mut x = seed;
+        let mut state = [0u64; 4];
+        for s in &mut state {
+            *s = splitmix64(&mut x);
         }
+        // xoshiro's all-zero state is absorbing; splitmix64 cannot
+        // produce four zero outputs in a row, but guard anyway.
+        if state == [0; 4] {
+            state[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        DetRng { state }
     }
 
     /// Derives an independent child generator; used to give each workload
@@ -43,14 +62,25 @@ impl DetRng {
         DetRng::new(seed)
     }
 
-    /// The next raw 64-bit value.
+    /// The next raw 64-bit value (xoshiro256++ step).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
     }
 
-    /// A uniform float in `[0, 1)`.
+    /// A uniform float in `[0, 1)`, built from the top 53 bits.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A uniform integer in `[0, n)`.
@@ -60,7 +90,15 @@ impl DetRng {
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: u64) -> u64 {
         assert!(n > 0, "below(0) is meaningless");
-        self.inner.gen_range(0..n)
+        // Rejection sampling over the widest multiple of `n`, so the
+        // result is exactly uniform.
+        let zone = u64::MAX - (u64::MAX - n + 1) % n;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % n;
+            }
+        }
     }
 
     /// A uniform integer in `[lo, hi)`.
@@ -70,7 +108,7 @@ impl DetRng {
     /// Panics if `lo >= hi`.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range {lo}..{hi}");
-        self.inner.gen_range(lo..hi)
+        lo + self.below(hi - lo)
     }
 
     /// An exponentially distributed value with the given mean (for Poisson
@@ -149,6 +187,18 @@ mod tests {
         let mut rng = DetRng::new(13);
         for _ in 0..1000 {
             assert!(rng.below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut rng = DetRng::new(29);
+        let mut counts = [0u32; 8];
+        for _ in 0..8000 {
+            counts[rng.below(8) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "bucket count {c} far from 1000");
         }
     }
 

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::SimDuration;
 
 /// Numerically stable online mean / variance (Welford's algorithm).
@@ -20,7 +18,7 @@ use crate::SimDuration;
 /// assert_eq!(s.mean(), 5.0);
 /// assert_eq!(s.population_variance(), 4.0);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct OnlineStats {
     count: u64,
     mean: f64,
@@ -138,7 +136,7 @@ impl fmt::Display for OnlineStats {
 /// s.record(SimDuration::from_ns(20));
 /// assert_eq!(s.mean(), SimDuration::from_ns(15));
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct DurationStats {
     inner: OnlineStats,
 }
@@ -199,7 +197,7 @@ impl DurationStats {
 /// assert_eq!(h.bucket_count(9), 1);
 /// assert_eq!(h.overflow(), 1);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -315,7 +313,7 @@ impl Histogram {
 /// }
 /// assert_eq!(s.quantile(0.5), Some(50.0));
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SampleSet {
     samples: Vec<f64>,
     sorted: bool,

@@ -9,8 +9,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// A span of simulated time in picoseconds.
 ///
 /// # Example
@@ -21,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// let cycle = SimDuration::from_ps(625);
 /// assert_eq!(cycle * 4, SimDuration::from_ns(2) + SimDuration::from_ps(500));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimDuration {
@@ -123,7 +121,10 @@ impl SimDuration {
     ///
     /// Panics if `factor` is negative or NaN.
     pub fn mul_f64(self, factor: f64) -> SimDuration {
-        assert!(factor >= 0.0 && factor.is_finite(), "invalid factor: {factor}");
+        assert!(
+            factor >= 0.0 && factor.is_finite(),
+            "invalid factor: {factor}"
+        );
         SimDuration((self.0 as f64 * factor).round() as u64)
     }
 
@@ -223,7 +224,7 @@ impl Sum for SimDuration {
 /// let t = SimTime::ZERO + SimDuration::from_us(3);
 /// assert_eq!(t.elapsed_since(SimTime::ZERO), SimDuration::from_us(3));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -373,7 +374,10 @@ mod tests {
         let t1 = t0 + SimDuration::from_ns(5);
         assert!(t1 > t0);
         assert_eq!(t1 - t0, SimDuration::from_ns(5));
-        assert_eq!(t1.saturating_since(t1 + SimDuration::from_ns(1)), SimDuration::ZERO);
+        assert_eq!(
+            t1.saturating_since(t1 + SimDuration::from_ns(1)),
+            SimDuration::ZERO
+        );
         assert_eq!(t0.max(t1), t1);
         assert_eq!(t0.min(t1), t0);
         assert!(SimTime::NEVER > t1);

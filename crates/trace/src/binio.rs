@@ -85,12 +85,23 @@ impl Trace {
                 TraceEvent::Proc(p) => {
                     w.write_all(&[1u8])?;
                     w.write_all(&p.time.as_ps().to_le_bytes())?;
-                    w.write_all(&u32::try_from(p.page).map_err(|_| {
-                        io::Error::new(io::ErrorKind::InvalidInput, "proc page exceeds u32")
-                    })?.to_le_bytes())?;
-                    w.write_all(&u16::try_from(p.bytes).map_err(|_| {
-                        io::Error::new(io::ErrorKind::InvalidInput, "proc access exceeds u16 bytes")
-                    })?.to_le_bytes())?;
+                    w.write_all(
+                        &u32::try_from(p.page)
+                            .map_err(|_| {
+                                io::Error::new(io::ErrorKind::InvalidInput, "proc page exceeds u32")
+                            })?
+                            .to_le_bytes(),
+                    )?;
+                    w.write_all(
+                        &u16::try_from(p.bytes)
+                            .map_err(|_| {
+                                io::Error::new(
+                                    io::ErrorKind::InvalidInput,
+                                    "proc access exceeds u16 bytes",
+                                )
+                            })?
+                            .to_le_bytes(),
+                    )?;
                 }
             }
         }

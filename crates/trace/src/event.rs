@@ -1,14 +1,13 @@
 //! Trace event model.
 
 use iobus::{BusId, DmaDirection, DmaSource, PageId};
-use serde::{Deserialize, Serialize};
 use simcore::{SimDuration, SimTime};
 
 use crate::popularity::PopularityCdf;
 use crate::stats::TraceStats;
 
 /// One large DMA transfer in a trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DmaRecord {
     /// When the transfer starts issuing requests.
     pub time: SimTime,
@@ -25,7 +24,7 @@ pub struct DmaRecord {
 }
 
 /// One processor access (a cache-line fill/writeback) in a trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProcRecord {
     /// When the access reaches memory.
     pub time: SimTime,
@@ -37,7 +36,7 @@ pub struct ProcRecord {
 
 /// A memory access in a data-server trace: either a DMA transfer or a
 /// processor access (paper Table 2 traces contain both kinds).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A DMA transfer.
     Dma(DmaRecord),
@@ -88,7 +87,7 @@ impl TraceEvent {
 /// let trace = Trace::from_events(vec![e]);
 /// assert_eq!(trace.len(), 1);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
     events: Vec<TraceEvent>,
 }

@@ -403,7 +403,9 @@ mod tests {
     #[test]
     fn oltp_db_matches_table2() {
         // 100 transfers/ms, ~233 proc accesses per transfer (23,300/ms).
-        let s = OltpDbGen::default().generate(SimDuration::from_ms(10), 23).stats();
+        let s = OltpDbGen::default()
+            .generate(SimDuration::from_ms(10), 23)
+            .stats();
         let rate = s.network_rate_per_ms();
         assert!((rate - 100.0).abs() < 15.0, "transfer rate {rate}");
         let per = s.proc_accesses_per_transfer();

@@ -191,9 +191,7 @@ impl TraceGen for SyntheticDbGen {
             if self.proc_per_transfer > 0.0 {
                 let count = sample_poisson_count(&mut proc_rng, self.proc_per_transfer);
                 for _ in 0..count {
-                    let offset = self
-                        .proc_burst_window
-                        .mul_f64(proc_rng.uniform());
+                    let offset = self.proc_burst_window.mul_f64(proc_rng.uniform());
                     let at = (t + offset).max(SimTime::ZERO + self.proc_burst_window / 2)
                         - self.proc_burst_window / 2;
                     let proc_page = if proc_rng.chance(self.proc_locality) {

@@ -44,10 +44,10 @@ mod popularity;
 mod stats;
 
 pub use event::{DmaRecord, ProcRecord, Trace, TraceEvent};
-pub use lru::LruSet;
 pub use generators::{
     OltpDbGen, OltpStGen, SyntheticDbGen, SyntheticStorageGen, TpchScanGen, TraceGen,
 };
 pub use io::ParseTraceError;
+pub use lru::LruSet;
 pub use popularity::PopularityCdf;
 pub use stats::TraceStats;

@@ -3,8 +3,6 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::event::{Trace, TraceEvent};
 
 /// The cumulative distribution of DMA accesses over pages, pages ordered
@@ -26,7 +24,7 @@ use crate::event::{Trace, TraceEvent};
 /// // Skewed: the top 20% of pages get far more than 20% of accesses.
 /// assert!(cdf.share_of_top(0.2) > 0.35);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PopularityCdf {
     /// Per-page DMA access counts, most popular first.
     counts: Vec<u64>,

@@ -3,7 +3,6 @@
 use std::fmt;
 
 use iobus::DmaSource;
-use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
 
 use crate::event::{Trace, TraceEvent};
@@ -21,7 +20,7 @@ use crate::event::{Trace, TraceEvent};
 /// assert!(s.proc_accesses > 0);
 /// assert!(s.network_rate_per_ms() > 0.0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceStats {
     /// Trace length (time of the last event).
     pub duration: SimDuration,

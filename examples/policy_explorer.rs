@@ -52,8 +52,12 @@ fn main() {
         ("strict-TDM", BusDiscipline::TimeDivision),
     ] {
         for bytes in [8u64, 64] {
-            let config = SystemConfig::default()
-                .with_buses(3, BusConfig::pci_x().with_discipline(d).with_request_bytes(bytes));
+            let config = SystemConfig::default().with_buses(
+                3,
+                BusConfig::pci_x()
+                    .with_discipline(d)
+                    .with_request_bytes(bytes),
+            );
             let r = ServerSimulator::new(config, Scheme::baseline()).run(&trace);
             println!(
                 "{:<12} {:>6}B   {:>8.3}   {:.3}",

@@ -24,10 +24,7 @@ fn main() {
     let trace = gen.generate(SimDuration::from_ms(30), 7);
     let stats = trace.stats();
     println!("trace: {stats}");
-    println!(
-        "popularity: {}\n",
-        trace.popularity_cdf()
-    );
+    println!("popularity: {}\n", trace.popularity_cdf());
 
     let config = SystemConfig::default();
     let baseline = ServerSimulator::new(config.clone(), Scheme::baseline()).run(&trace);
@@ -64,5 +61,8 @@ fn main() {
     {
         println!("{i:>4}   {b:>8.3}   {p:>12.3}");
     }
-    println!("...    ({} pages migrated into the hot chips)", pl.page_moves);
+    println!(
+        "...    ({} pages migrated into the hot chips)",
+        pl.page_moves
+    );
 }

@@ -27,7 +27,8 @@ fn every_workload_completes_under_every_scheme() {
         ] {
             let r = ServerSimulator::new(config.clone(), scheme).run(&trace);
             assert_eq!(
-                r.transfers, dma_events,
+                r.transfers,
+                dma_events,
                 "{} lost transfers under {}",
                 w.label(),
                 r.scheme
@@ -132,7 +133,12 @@ fn database_workloads_serve_all_processor_accesses() {
         let trace = short(w);
         let expected = trace.stats().proc_accesses;
         let r = ServerSimulator::new(config.clone(), Scheme::dma_ta_pl(0.5, 2)).run(&trace);
-        assert_eq!(r.proc_accesses, expected, "{} lost proc accesses", w.label());
+        assert_eq!(
+            r.proc_accesses,
+            expected,
+            "{} lost proc accesses",
+            w.label()
+        );
     }
 }
 

@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper as text.
 //!
 //! ```text
-//! experiments [EXHIBIT] [--ms N] [--seed S]
+//! experiments [EXHIBIT] [--ms N] [--seed S] [--threads N] [--quick]
 //! ```
 //!
 //! `EXHIBIT` is one of `table1 table2 fig2a fig2b fig3 fig4 fig5 fig6 fig7
@@ -9,6 +9,13 @@
 //! trace length per run (default 50), `--seed` the workload seed (default
 //! 42), and `--csv DIR` additionally writes each figure's data as CSV files
 //! into `DIR` for replotting.
+//!
+//! Sweep-engine flags: `--threads N` runs the figure simulations on `N`
+//! workers (`0` = all cores, the default; output is bit-identical at any
+//! thread count), `--quick` shrinks the trace to the 2-ms smoke
+//! configuration, and `--timing-out FILE` times the full figure matrix
+//! serially and in parallel and writes the comparison as JSON (the
+//! committed `BENCH_sweep.json` baseline).
 //!
 //! Observability flags add an instrumented DMA-TA-PL(2) run on OLTP-St:
 //! `--events-out FILE` exports its structured event stream as JSONL,
@@ -21,9 +28,10 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use bench::sweep::SweepRunner;
 use bench::{
     breakdown_line, fig10_table, fig4_table, fig5_table, fig7_table, fig8_table, fig9_table,
-    table2_text, ALL_WORKLOADS, BUS_RATE_SWEEP, CP_SWEEP, INTENSITY_SWEEP, PROC_SWEEP,
+    table2_rows_text, ALL_WORKLOADS, BUS_RATE_SWEEP, CP_SWEEP, INTENSITY_SWEEP, PROC_SWEEP,
 };
 use dmamem::experiments::{self, ExpConfig};
 use simcore::SimDuration;
@@ -31,8 +39,12 @@ use simcore::SimDuration;
 fn main() -> ExitCode {
     let mut exhibit = "all".to_string();
     let mut ms = 50u64;
+    let mut ms_set = false;
     let mut seed = 42u64;
+    let mut threads = 0usize;
+    let mut quick = false;
     let mut csv_dir: Option<PathBuf> = None;
+    let mut timing_out: Option<PathBuf> = None;
     let mut events_out: Option<PathBuf> = None;
     let mut metrics_out: Option<PathBuf> = None;
     let mut obs_summary = false;
@@ -40,16 +52,28 @@ fn main() -> ExitCode {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--ms" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(v) => ms = v,
+                Some(v) => {
+                    ms = v;
+                    ms_set = true;
+                }
                 None => return usage("--ms needs a number"),
             },
             "--seed" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(v) => seed = v,
                 None => return usage("--seed needs a number"),
             },
+            "--threads" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => threads = v,
+                None => return usage("--threads needs a number (0 = all cores)"),
+            },
+            "--quick" => quick = true,
             "--csv" => match args.next() {
                 Some(dir) => csv_dir = Some(PathBuf::from(dir)),
                 None => return usage("--csv needs a directory"),
+            },
+            "--timing-out" => match args.next() {
+                Some(f) => timing_out = Some(PathBuf::from(f)),
+                None => return usage("--timing-out needs a file"),
             },
             "--events-out" => match args.next() {
                 Some(f) => events_out = Some(PathBuf::from(f)),
@@ -65,10 +89,14 @@ fn main() -> ExitCode {
             other => return usage(&format!("unknown flag {other}")),
         }
     }
+    if quick && !ms_set {
+        ms = 2;
+    }
     let exp = ExpConfig {
         duration: SimDuration::from_ms(ms),
         seed,
     };
+    let mut runner = SweepRunner::new(threads);
 
     if let Some(dir) = &csv_dir {
         if let Err(e) = fs::create_dir_all(dir) {
@@ -100,7 +128,7 @@ fn main() -> ExitCode {
     if all || exhibit == "table2" {
         matched = true;
         section("Table 2: trace characteristics");
-        println!("{}", table2_text(exp));
+        println!("{}", table2_rows_text(&runner.table2(exp)));
         println!("(paper: OLTP-St 45.0 net + 16.7 disk /ms; OLTP-Db 100/ms + 23,300 proc/ms)");
     }
     if all || exhibit == "fig2a" {
@@ -116,7 +144,7 @@ fn main() -> ExitCode {
     if all || exhibit == "fig2b" {
         matched = true;
         section("Figure 2(b): baseline energy breakdowns");
-        for (name, e) in experiments::fig2b(exp) {
+        for (name, e) in runner.fig2b(exp) {
             println!("{name}: {}", breakdown_line(&e));
         }
         println!("(paper: Active Idle DMA 48-51%, Active Serving 26-27%, threshold 3-4%)");
@@ -142,7 +170,7 @@ fn main() -> ExitCode {
     if all || exhibit == "fig5" {
         matched = true;
         section("Figure 5: energy savings vs CP-Limit");
-        let rows = experiments::fig5(exp, &ALL_WORKLOADS, &CP_SWEEP);
+        let rows = runner.fig5(exp, &ALL_WORKLOADS, &CP_SWEEP);
         println!("{}", fig5_table(&rows));
         write_csv("fig5.csv", bench::csv::fig5(&rows));
         println!("(paper: up to 38.6% for OLTP-St DMA-TA-PL(2) at 10%; savings rise then plateau)");
@@ -151,7 +179,7 @@ fn main() -> ExitCode {
         matched = true;
         section("Figure 6: energy breakdowns at 10% CP-Limit (OLTP-St)");
         let mut csv = String::from("scheme,category,energy_mj,fraction\n");
-        for (name, e) in experiments::fig6(exp, 0.10) {
+        for (name, e) in runner.fig6(exp, 0.10) {
             println!("{name}: {}", breakdown_line(&e));
             csv.push_str(&bench::csv::breakdown(&name, &e));
         }
@@ -160,7 +188,7 @@ fn main() -> ExitCode {
     if all || exhibit == "fig7" {
         matched = true;
         section("Figure 7: utilization factors vs CP-Limit (OLTP-St)");
-        let rows = experiments::fig7(exp, &CP_SWEEP);
+        let rows = runner.fig7(exp, &CP_SWEEP);
         println!("{}", fig7_table(&rows));
         write_csv("fig7.csv", bench::csv::fig7(&rows));
         println!("(paper: baseline ~0.33; DMA-TA-PL 0.63 at 10%, 0.75 at 30%)");
@@ -168,14 +196,14 @@ fn main() -> ExitCode {
     if all || exhibit == "fig8" {
         matched = true;
         section("Figure 8: savings vs workload intensity (Synthetic-St)");
-        let rows = experiments::fig8(exp, &INTENSITY_SWEEP, 0.10);
+        let rows = runner.fig8(exp, &INTENSITY_SWEEP, 0.10);
         println!("{}", fig8_table(&rows));
         write_csv("fig8.csv", bench::csv::fig8(&rows));
     }
     if all || exhibit == "fig9" {
         matched = true;
         section("Figure 9: savings vs processor accesses per transfer (Synthetic-Db)");
-        let rows = experiments::fig9(exp, &PROC_SWEEP, 0.10);
+        let rows = runner.fig9(exp, &PROC_SWEEP, 0.10);
         println!("{}", fig9_table(&rows));
         write_csv("fig9.csv", bench::csv::fig9(&rows));
         println!(
@@ -185,7 +213,7 @@ fn main() -> ExitCode {
     if all || exhibit == "fig10" {
         matched = true;
         section("Figure 10: savings vs memory/I-O bandwidth ratio");
-        let rows = experiments::fig10(exp, &BUS_RATE_SWEEP, 0.10);
+        let rows = runner.fig10(exp, &BUS_RATE_SWEEP, 0.10);
         println!("{}", fig10_table(&rows));
         write_csv("fig10.csv", bench::csv::fig10(&rows));
         println!("(paper: ~5% at ratio ~1, growing with the ratio)");
@@ -194,7 +222,7 @@ fn main() -> ExitCode {
     if all || exhibit == "tpch" {
         matched = true;
         section("Extension: TPC-H-style scans (paper future work)");
-        for row in experiments::tpch(exp, 0.10) {
+        for row in runner.tpch(exp, 0.10) {
             println!(
                 "{}: savings {:+.1}%, uf {:.2}, {} page moves",
                 row.scheme,
@@ -208,7 +236,7 @@ fn main() -> ExitCode {
     if all || exhibit == "groups" {
         matched = true;
         section("Ablation: PL group count (scaled 64-frame chips, Zipf 0.5)");
-        for row in experiments::group_ablation(exp, 0.10) {
+        for row in runner.group_ablation(exp, 0.10) {
             println!(
                 "K = {}: savings {:+.1}% ({} page moves)",
                 row.groups,
@@ -222,7 +250,7 @@ fn main() -> ExitCode {
     if events_out.is_some() || metrics_out.is_some() || obs_summary {
         matched = true;
         section("Observability: instrumented DMA-TA-PL(2) run (OLTP-St)");
-        let run = experiments::observed_run(exp, 0.10, 1 << 18);
+        let run = runner.observed_run(exp, 0.10, 1 << 18);
         print!("{}", bench::obs_summary_table(&run));
         let obs = run.result.obs.as_ref().expect("instrumented run");
         if let Some(path) = &events_out {
@@ -246,8 +274,33 @@ fn main() -> ExitCode {
         write_csv("obs_summary.csv", bench::csv::obs_summary(&run));
     }
 
+    if let Some(path) = &timing_out {
+        matched = true;
+        section("Sweep engine: serial vs parallel figure matrix");
+        let report = bench::sweep::timing_report(exp, threads);
+        print!("{}", report.to_markdown_table());
+        println!(
+            "({} worker(s) on {} core(s); memo {} hits / {} misses)",
+            report.threads, report.cores, report.memo.hits, report.memo.misses
+        );
+        if let Err(e) = fs::write(path, report.to_json()) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("(timing baseline written to {})", path.display());
+    }
+
     if !matched {
         return usage(&format!("unknown exhibit {exhibit:?}"));
+    }
+    let stats = runner.memo_stats();
+    if stats.hits + stats.misses > 0 {
+        println!(
+            "\n(sweep engine: {} simulations run, {} served from memo, {} worker thread(s))",
+            stats.misses,
+            stats.hits,
+            runner.threads()
+        );
     }
     ExitCode::SUCCESS
 }
@@ -257,7 +310,7 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: experiments [table1|table2|fig2a|fig2b|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|groups|tpch|all] [--ms N] [--seed S] [--csv DIR] [--events-out FILE] [--metrics-out FILE] [--obs-summary]"
+        "usage: experiments [table1|table2|fig2a|fig2b|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|groups|tpch|all] [--ms N] [--seed S] [--threads N] [--quick] [--csv DIR] [--timing-out FILE] [--events-out FILE] [--metrics-out FILE] [--obs-summary]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

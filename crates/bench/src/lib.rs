@@ -3,12 +3,16 @@
 //!
 //! Every table and figure of the paper's evaluation section has a
 //! corresponding renderer here; the underlying data comes from
-//! [`dmamem::experiments`].
+//! [`dmamem::experiments`]. The [`sweep`] module orchestrates whole
+//! figure matrices on the parallel sweep engine and emits the
+//! `BENCH_sweep.json` timing baseline.
 
 use dmamem::experiments::{
     self, ExpConfig, Fig10Row, Fig5Row, Fig7Row, Fig8Row, Fig9Row, Workload,
 };
 use mempower::{EnergyBreakdown, EnergyCategory};
+
+pub mod sweep;
 
 /// Renders an energy breakdown as a one-line percentage summary.
 pub fn breakdown_line(e: &EnergyBreakdown) -> String {
@@ -109,9 +113,15 @@ pub fn fig4_table(points: &[(f64, f64)]) -> String {
 
 /// Renders Table 2 trace characteristics.
 pub fn table2_text(exp: ExpConfig) -> String {
+    table2_rows_text(&experiments::table2(exp))
+}
+
+/// Renders already-computed Table 2 rows (see
+/// [`dmamem::experiments::table2_ctx`]).
+pub fn table2_rows_text(rows: &[(String, dma_trace::TraceStats)]) -> String {
     let mut out =
         String::from("trace          net/ms  disk/ms  proc/ms  proc/transfer  distinct-pages\n");
-    for (name, s) in experiments::table2(exp) {
+    for (name, s) in rows {
         out.push_str(&format!(
             "{:<13} {:>7.1}  {:>7.1}  {:>7.0}  {:>13.1}  {:>14}\n",
             name,

@@ -1,0 +1,389 @@
+//! Figure-level orchestration of the parallel sweep engine.
+//!
+//! [`SweepRunner`] wraps a [`dmamem::sweep::SweepCtx`] and exposes one
+//! method per simulation-heavy exhibit, timing each figure's wall clock.
+//! Because every figure runs through the same context, traces and
+//! baselines memoize *across* figures — the OLTP-St baseline that Figure 5
+//! simulates is the one Figures 6 and 7 read back for free.
+//!
+//! [`timing_report`] runs the full figure matrix twice — once on a fresh
+//! serial context, once on a fresh parallel one — and returns a
+//! [`TimingReport`] that renders as the committed `BENCH_sweep.json`
+//! baseline and as the timing table in `EXPERIMENTS.md`.
+
+use std::time::Instant;
+
+use dma_trace::TraceStats;
+use dmamem::experiments::{
+    self, ExpConfig, Fig10Row, Fig5Row, Fig7Row, Fig8Row, Fig9Row, GroupAblationRow, ObservedRun,
+    TpchRow, Workload,
+};
+use dmamem::sweep::{MemoStats, SweepCtx};
+use mempower::EnergyBreakdown;
+
+use crate::{ALL_WORKLOADS, BUS_RATE_SWEEP, CP_SWEEP, INTENSITY_SWEEP, PROC_SWEEP};
+
+/// Wall-clock time of one figure run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigTime {
+    /// Exhibit name (`fig5`, `groups`, ...).
+    pub figure: String,
+    /// Wall-clock milliseconds the figure took on the runner's context.
+    pub ms: f64,
+}
+
+/// A sweep context plus per-figure wall-clock accounting.
+pub struct SweepRunner {
+    ctx: SweepCtx,
+    timings: Vec<FigTime>,
+}
+
+impl SweepRunner {
+    /// Creates a runner on `threads` workers (`0` = all available).
+    pub fn new(threads: usize) -> Self {
+        SweepRunner {
+            ctx: SweepCtx::new(threads),
+            timings: Vec::new(),
+        }
+    }
+
+    /// The underlying sweep context.
+    pub fn ctx(&self) -> &SweepCtx {
+        &self.ctx
+    }
+
+    /// Worker threads in use.
+    pub fn threads(&self) -> usize {
+        self.ctx.threads()
+    }
+
+    /// Memoization statistics accumulated across all figures run so far.
+    pub fn memo_stats(&self) -> MemoStats {
+        self.ctx.memo_stats()
+    }
+
+    /// Per-figure wall-clock times, in run order.
+    pub fn timings(&self) -> &[FigTime] {
+        &self.timings
+    }
+
+    /// Times `run` against the runner's context and records it under
+    /// `figure`.
+    pub fn timed<T>(&mut self, figure: &str, run: impl FnOnce(&SweepCtx) -> T) -> T {
+        let start = Instant::now();
+        let out = run(&self.ctx);
+        self.timings.push(FigTime {
+            figure: figure.to_string(),
+            ms: start.elapsed().as_secs_f64() * 1e3,
+        });
+        out
+    }
+
+    /// Table 2 through the shared trace cache.
+    pub fn table2(&mut self, exp: ExpConfig) -> Vec<(String, TraceStats)> {
+        self.timed("table2", |ctx| experiments::table2_ctx(ctx, exp))
+    }
+
+    /// Figure 2(b) on the shared context.
+    pub fn fig2b(&mut self, exp: ExpConfig) -> Vec<(String, EnergyBreakdown)> {
+        self.timed("fig2b", |ctx| experiments::fig2b_ctx(ctx, exp))
+    }
+
+    /// Figure 5 on the shared context.
+    pub fn fig5(
+        &mut self,
+        exp: ExpConfig,
+        workloads: &[Workload],
+        cp_limits: &[f64],
+    ) -> Vec<Fig5Row> {
+        self.timed("fig5", |ctx| {
+            experiments::fig5_ctx(ctx, exp, workloads, cp_limits)
+        })
+    }
+
+    /// Figure 6 on the shared context.
+    pub fn fig6(&mut self, exp: ExpConfig, cp_limit: f64) -> Vec<(String, EnergyBreakdown)> {
+        self.timed("fig6", |ctx| experiments::fig6_ctx(ctx, exp, cp_limit))
+    }
+
+    /// Figure 7 on the shared context.
+    pub fn fig7(&mut self, exp: ExpConfig, cp_limits: &[f64]) -> Vec<Fig7Row> {
+        self.timed("fig7", |ctx| experiments::fig7_ctx(ctx, exp, cp_limits))
+    }
+
+    /// Figure 8 on the shared context.
+    pub fn fig8(&mut self, exp: ExpConfig, rates: &[f64], cp_limit: f64) -> Vec<Fig8Row> {
+        self.timed("fig8", |ctx| {
+            experiments::fig8_ctx(ctx, exp, rates, cp_limit)
+        })
+    }
+
+    /// Figure 9 on the shared context.
+    pub fn fig9(&mut self, exp: ExpConfig, counts: &[f64], cp_limit: f64) -> Vec<Fig9Row> {
+        self.timed("fig9", |ctx| {
+            experiments::fig9_ctx(ctx, exp, counts, cp_limit)
+        })
+    }
+
+    /// Figure 10 on the shared context.
+    pub fn fig10(&mut self, exp: ExpConfig, bus_rates: &[f64], cp_limit: f64) -> Vec<Fig10Row> {
+        self.timed("fig10", |ctx| {
+            experiments::fig10_ctx(ctx, exp, bus_rates, cp_limit)
+        })
+    }
+
+    /// The PL group-count ablation on the shared context.
+    pub fn group_ablation(&mut self, exp: ExpConfig, cp_limit: f64) -> Vec<GroupAblationRow> {
+        self.timed("groups", |ctx| {
+            experiments::group_ablation_ctx(ctx, exp, cp_limit)
+        })
+    }
+
+    /// The TPC-H extension on the shared context.
+    pub fn tpch(&mut self, exp: ExpConfig, cp_limit: f64) -> Vec<TpchRow> {
+        self.timed("tpch", |ctx| experiments::tpch_ctx(ctx, exp, cp_limit))
+    }
+
+    /// The instrumented observability run, with its baseline memoized.
+    pub fn observed_run(
+        &mut self,
+        exp: ExpConfig,
+        cp_limit: f64,
+        event_capacity: usize,
+    ) -> ObservedRun {
+        self.timed("observed", |ctx| {
+            experiments::observed_run_ctx(ctx, exp, cp_limit, event_capacity)
+        })
+    }
+}
+
+/// Runs the full simulation-heavy figure matrix on `runner` with the
+/// paper's standard sweeps.
+pub fn run_figure_matrix(runner: &mut SweepRunner, exp: ExpConfig) {
+    runner.table2(exp);
+    runner.fig2b(exp);
+    runner.fig5(exp, &ALL_WORKLOADS, &CP_SWEEP);
+    runner.fig6(exp, 0.10);
+    runner.fig7(exp, &CP_SWEEP);
+    runner.fig8(exp, &INTENSITY_SWEEP, 0.10);
+    runner.fig9(exp, &PROC_SWEEP, 0.10);
+    runner.fig10(exp, &BUS_RATE_SWEEP, 0.10);
+    runner.group_ablation(exp, 0.10);
+    runner.tpch(exp, 0.10);
+}
+
+/// One row of a [`TimingReport`]: a figure timed serially and in parallel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigComparison {
+    /// Exhibit name.
+    pub figure: String,
+    /// Wall-clock on the one-worker context, milliseconds.
+    pub serial_ms: f64,
+    /// Wall-clock on the parallel context, milliseconds.
+    pub parallel_ms: f64,
+}
+
+impl FigComparison {
+    /// Serial over parallel wall-clock.
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_ms > 0.0 {
+            self.serial_ms / self.parallel_ms
+        } else {
+            1.0
+        }
+    }
+}
+
+/// The serial-versus-parallel timing baseline for the full figure matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    /// Worker threads of the parallel run.
+    pub threads: usize,
+    /// Hardware threads the host reports.
+    pub cores: usize,
+    /// Simulated trace length per run, milliseconds.
+    pub trace_ms: f64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Per-figure comparisons, in matrix order.
+    pub figures: Vec<FigComparison>,
+    /// Memoization statistics of the parallel run (the serial run's are
+    /// identical by construction).
+    pub memo: MemoStats,
+}
+
+impl TimingReport {
+    /// Total serial wall-clock, milliseconds.
+    pub fn serial_total_ms(&self) -> f64 {
+        self.figures.iter().map(|f| f.serial_ms).sum()
+    }
+
+    /// Total parallel wall-clock, milliseconds.
+    pub fn parallel_total_ms(&self) -> f64 {
+        self.figures.iter().map(|f| f.parallel_ms).sum()
+    }
+
+    /// Whole-matrix speedup.
+    pub fn speedup(&self) -> f64 {
+        let p = self.parallel_total_ms();
+        if p > 0.0 {
+            self.serial_total_ms() / p
+        } else {
+            1.0
+        }
+    }
+
+    /// Renders the report as the machine-readable `BENCH_sweep.json`
+    /// baseline.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"bench\": \"sweep\",\n");
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!("  \"cores\": {},\n", self.cores));
+        out.push_str(&format!("  \"trace_ms\": {},\n", self.trace_ms));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str("  \"figures\": [\n");
+        for (i, f) in self.figures.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"figure\": \"{}\", \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}}}{}\n",
+                f.figure,
+                f.serial_ms,
+                f.parallel_ms,
+                f.speedup(),
+                if i + 1 < self.figures.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"serial_total_ms\": {:.3},\n",
+            self.serial_total_ms()
+        ));
+        out.push_str(&format!(
+            "  \"parallel_total_ms\": {:.3},\n",
+            self.parallel_total_ms()
+        ));
+        out.push_str(&format!("  \"speedup\": {:.3},\n", self.speedup()));
+        out.push_str(&format!(
+            "  \"memo\": {{\"hits\": {}, \"misses\": {}, \"trace_hits\": {}, \"trace_misses\": {}}}\n",
+            self.memo.hits, self.memo.misses, self.memo.trace_hits, self.memo.trace_misses
+        ));
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders the report as the markdown timing table `EXPERIMENTS.md`
+    /// embeds.
+    pub fn to_markdown_table(&self) -> String {
+        let mut out = String::from("| figure | serial (ms) | parallel (ms) | speedup |\n");
+        out.push_str("|---|---:|---:|---:|\n");
+        for f in &self.figures {
+            out.push_str(&format!(
+                "| {} | {:.1} | {:.1} | {:.2}x |\n",
+                f.figure,
+                f.serial_ms,
+                f.parallel_ms,
+                f.speedup()
+            ));
+        }
+        out.push_str(&format!(
+            "| **total** | **{:.1}** | **{:.1}** | **{:.2}x** |\n",
+            self.serial_total_ms(),
+            self.parallel_total_ms(),
+            self.speedup()
+        ));
+        out
+    }
+}
+
+/// Times the full figure matrix serially and in parallel (on fresh
+/// contexts, so memoization cannot leak between the two measurements) and
+/// returns the comparison.
+pub fn timing_report(exp: ExpConfig, threads: usize) -> TimingReport {
+    let mut serial = SweepRunner::new(1);
+    run_figure_matrix(&mut serial, exp);
+    let mut parallel = SweepRunner::new(threads);
+    run_figure_matrix(&mut parallel, exp);
+    let figures = serial
+        .timings()
+        .iter()
+        .zip(parallel.timings())
+        .map(|(s, p)| {
+            debug_assert_eq!(s.figure, p.figure);
+            FigComparison {
+                figure: s.figure.clone(),
+                serial_ms: s.ms,
+                parallel_ms: p.ms,
+            }
+        })
+        .collect();
+    TimingReport {
+        threads: parallel.threads(),
+        cores: simcore::par::available_threads(),
+        trace_ms: exp.duration.as_ns_f64() / 1e6,
+        seed: exp.seed,
+        figures,
+        memo: parallel.memo_stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_memoizes_across_figures() {
+        let exp = ExpConfig::quick();
+        let mut runner = SweepRunner::new(2);
+        let rows = runner.fig5(exp, &[Workload::OltpSt], &[0.10]);
+        assert_eq!(rows.len(), 4);
+        let after_fig5 = runner.memo_stats();
+        // Figures 6 and 7 at the same CP-Limit re-read fig5's OLTP-St
+        // baseline and scheme runs from the memo.
+        runner.fig6(exp, 0.10);
+        runner.fig7(exp, &[0.10]);
+        let after = runner.memo_stats();
+        assert_eq!(
+            after.misses, after_fig5.misses,
+            "fig6/fig7 should be fully memoized after fig5: {after:?}"
+        );
+        assert!(after.hits > after_fig5.hits);
+        assert_eq!(after.trace_misses, 1, "one OLTP-St trace generated");
+        assert_eq!(runner.timings().len(), 3);
+    }
+
+    #[test]
+    fn timing_report_renders_json_and_table() {
+        let report = TimingReport {
+            threads: 4,
+            cores: 8,
+            trace_ms: 2.0,
+            seed: 42,
+            figures: vec![
+                FigComparison {
+                    figure: "fig5".into(),
+                    serial_ms: 100.0,
+                    parallel_ms: 40.0,
+                },
+                FigComparison {
+                    figure: "fig7".into(),
+                    serial_ms: 10.0,
+                    parallel_ms: 10.0,
+                },
+            ],
+            memo: MemoStats {
+                hits: 7,
+                misses: 3,
+                trace_hits: 5,
+                trace_misses: 2,
+            },
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"sweep\""));
+        assert!(json.contains("\"serial_total_ms\": 110.000"));
+        assert!(json.contains("\"speedup\": 2.200"));
+        assert!(json.contains("\"figure\": \"fig5\""));
+        assert!(json.contains("\"misses\": 3"));
+        let table = report.to_markdown_table();
+        assert!(table.contains("| fig5 | 100.0 | 40.0 | 2.50x |"));
+        assert!(table.contains("**2.20x**"));
+    }
+}

@@ -1,0 +1,47 @@
+//! Byte-identity of the *rendered* figure tables across thread counts —
+//! the exact artifact the `experiments` binary prints.
+
+use bench::sweep::{run_figure_matrix, SweepRunner};
+use bench::{fig5_table, fig7_table, fig8_table, table2_rows_text};
+use dmamem::experiments::{ExpConfig, Workload};
+
+#[test]
+fn rendered_tables_byte_identical_across_thread_counts() {
+    let exp = ExpConfig::quick();
+    let render = |threads: usize| {
+        let mut runner = SweepRunner::new(threads);
+        let mut out = String::new();
+        out.push_str(&table2_rows_text(&runner.table2(exp)));
+        out.push_str(&fig5_table(&runner.fig5(
+            exp,
+            &[Workload::OltpSt, Workload::SyntheticSt],
+            &[0.05, 0.10],
+        )));
+        out.push_str(&fig7_table(&runner.fig7(exp, &[0.05, 0.10])));
+        out.push_str(&fig8_table(&runner.fig8(exp, &[50.0, 100.0], 0.10)));
+        out
+    };
+    let serial = render(1);
+    for threads in [2usize, 8] {
+        assert_eq!(serial, render(threads), "threads={threads}");
+    }
+}
+
+#[test]
+fn figure_matrix_runs_and_records_timings() {
+    let mut runner = SweepRunner::new(0);
+    run_figure_matrix(&mut runner, ExpConfig::quick());
+    let names: Vec<&str> = runner.timings().iter().map(|t| t.figure.as_str()).collect();
+    assert_eq!(
+        names,
+        ["table2", "fig2b", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "groups", "tpch"]
+    );
+    let stats = runner.memo_stats();
+    // The matrix is heavily redundant: the memo must absorb a meaningful
+    // share of the jobs (fig2b/fig6/fig7 baselines all repeat fig5's).
+    assert!(
+        stats.hits >= 10,
+        "expected cross-figure memo hits, got {stats:?}"
+    );
+    assert!(stats.trace_hits >= 3, "traces were regenerated: {stats:?}");
+}

@@ -8,9 +8,17 @@
 //! [`black_box`]. Each benchmark runs a short warm-up followed by
 //! `sample_size` timed samples and reports min / mean / max wall-clock
 //! time per iteration.
+//!
+//! Besides the human-readable line, results can be appended to a JSONL
+//! file — one `{"id", "samples", "min_s", "mean_s", "max_s"}` object per
+//! benchmark — either via [`Criterion::json_output`] or by setting the
+//! `CRITERION_JSON` environment variable to the target path, so CI and
+//! the `BENCH_*.json` baselines can consume timings without parsing the
+//! console format.
 
 #![warn(missing_docs)]
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -20,6 +28,7 @@ pub use std::hint::black_box;
 pub struct Criterion {
     sample_size: usize,
     warm_up_time: Duration,
+    json_path: Option<PathBuf>,
 }
 
 impl Default for Criterion {
@@ -27,6 +36,7 @@ impl Default for Criterion {
         Self {
             sample_size: 20,
             warm_up_time: Duration::from_millis(200),
+            json_path: std::env::var_os("CRITERION_JSON").map(PathBuf::from),
         }
     }
 }
@@ -42,6 +52,14 @@ impl Criterion {
     /// Sets the warm-up duration before sampling starts.
     pub fn warm_up_time(mut self, d: Duration) -> Self {
         self.warm_up_time = d;
+        self
+    }
+
+    /// Appends each benchmark's result to `path` as one JSON object per
+    /// line (in addition to the console summary). Overrides the
+    /// `CRITERION_JSON` environment variable.
+    pub fn json_output(mut self, path: impl Into<PathBuf>) -> Self {
+        self.json_path = Some(path.into());
         self
     }
 
@@ -81,8 +99,44 @@ impl Criterion {
             format_seconds(mean),
             format_seconds(max)
         );
+        if let Some(path) = &self.json_path {
+            let line = result_json(id, per_iter.len(), min, mean, max);
+            if let Err(e) = append_line(path, &line) {
+                eprintln!("warning: cannot append to {}: {e}", path.display());
+            }
+        }
         self
     }
+}
+
+/// One benchmark result as a JSON object (no trailing newline).
+fn result_json(id: &str, samples: usize, min: f64, mean: f64, max: f64) -> String {
+    format!(
+        "{{\"id\": \"{}\", \"samples\": {samples}, \"min_s\": {min:.9}, \"mean_s\": {mean:.9}, \"max_s\": {max:.9}}}",
+        json_escape(id)
+    )
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn append_line(path: &std::path::Path, line: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{line}")
 }
 
 /// Per-sample timing helper, mirroring `criterion::Bencher`.
@@ -176,5 +230,33 @@ mod tests {
         assert!(format_seconds(2e-3).ends_with(" ms"));
         assert!(format_seconds(2e-6).ends_with(" µs"));
         assert!(format_seconds(2e-9).ends_with(" ns"));
+    }
+
+    #[test]
+    fn result_json_shape_and_escaping() {
+        let line = result_json("fig5 \"quick\"", 3, 1e-3, 2e-3, 4e-3);
+        assert!(line.starts_with("{\"id\": \"fig5 \\\"quick\\\"\""));
+        assert!(line.contains("\"samples\": 3"));
+        assert!(line.contains("\"mean_s\": 0.002000000"));
+        assert!(line.ends_with('}'));
+    }
+
+    #[test]
+    fn json_output_appends_one_line_per_bench() {
+        let path =
+            std::env::temp_dir().join(format!("criterion_shim_test_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .json_output(&path);
+        c.bench_function("first", |b| b.iter(|| 1 + 1));
+        c.bench_function("second", |b| b.iter(|| 2 + 2));
+        let text = std::fs::read_to_string(&path).expect("json file written");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"id\": \"first\""));
+        assert!(lines[1].contains("\"id\": \"second\""));
+        let _ = std::fs::remove_file(&path);
     }
 }

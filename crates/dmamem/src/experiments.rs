@@ -4,6 +4,14 @@
 //! paper (Section 5) and returns it as plain rows, so the `bench` crate can
 //! print tables and Criterion benches can time the underlying simulations.
 //!
+//! Every simulation-heavy runner comes in two forms: `figN(exp, ...)`, the
+//! original serial entry point, and `figN_ctx(&SweepCtx, exp, ...)`, which
+//! runs its simulations through the [`crate::sweep`] engine — traces are
+//! generated once and shared, baselines repeated across figures are
+//! memoized, and independent runs execute in parallel. The serial form
+//! delegates to a fresh single-threaded context, so both produce
+//! bit-identical rows.
+//!
 //! | exhibit | runner |
 //! |---|---|
 //! | Table 1 (power model)            | [`table1_text`] |
@@ -29,6 +37,7 @@ use simcore::SimDuration;
 
 use crate::config::{Scheme, SystemConfig};
 use crate::metrics::SimResult;
+use crate::sweep::{SharedTrace, SimJob, SweepCtx};
 use crate::system::ServerSimulator;
 
 /// Shared experiment parameters.
@@ -99,6 +108,15 @@ impl Workload {
             Workload::OltpDb => OltpDbGen::default().generate(duration, seed),
             Workload::SyntheticDb => SyntheticDbGen::default().generate(duration, seed),
         }
+    }
+
+    /// The workload's trace via the sweep engine's cache: generated once
+    /// per `(workload, duration, seed)` and shared across figures.
+    pub fn shared_trace(self, ctx: &SweepCtx, exp: ExpConfig) -> SharedTrace {
+        ctx.trace(
+            format!("{}|{:?}|{}", self.label(), exp.duration, exp.seed),
+            || self.generate(exp.duration, exp.seed),
+        )
     }
 
     /// The part of the *client-perceived* response time that lies outside
@@ -197,11 +215,17 @@ pub fn table1_text() -> String {
 
 /// Table 2: measured characteristics of the four generated traces.
 pub fn table2(exp: ExpConfig) -> Vec<(String, TraceStats)> {
+    table2_ctx(&SweepCtx::serial(), exp)
+}
+
+/// [`table2`] on a sweep context: the traces land in the context's cache,
+/// so the figure runs that follow reuse them instead of regenerating.
+pub fn table2_ctx(ctx: &SweepCtx, exp: ExpConfig) -> Vec<(String, TraceStats)> {
     Workload::ALL
         .iter()
         .map(|w| {
-            let t = w.generate(exp.duration, exp.seed);
-            (w.label().to_string(), t.stats())
+            let t = w.shared_trace(ctx, exp);
+            (w.label().to_string(), t.trace().stats())
         })
         .collect()
 }
@@ -248,13 +272,21 @@ pub fn fig2a() -> Fig2a {
 /// Figure 2(b): baseline energy breakdowns for the storage and database
 /// workloads.
 pub fn fig2b(exp: ExpConfig) -> Vec<(String, EnergyBreakdown)> {
-    [Workload::OltpSt, Workload::OltpDb]
+    fig2b_ctx(&SweepCtx::serial(), exp)
+}
+
+/// [`fig2b`] on a sweep context (the two baselines are the same runs
+/// Figures 5–7 memoize).
+pub fn fig2b_ctx(ctx: &SweepCtx, exp: ExpConfig) -> Vec<(String, EnergyBreakdown)> {
+    let workloads = [Workload::OltpSt, Workload::OltpDb];
+    let jobs = workloads
         .iter()
-        .map(|w| {
-            let trace = w.generate(exp.duration, exp.seed);
-            let r = ServerSimulator::new(paper_system(), Scheme::baseline()).run(&trace);
-            (w.label().to_string(), r.energy)
-        })
+        .map(|w| SimJob::new(paper_system(), Scheme::baseline(), w.shared_trace(ctx, exp)))
+        .collect();
+    workloads
+        .iter()
+        .zip(ctx.run_batch(jobs))
+        .map(|(w, r)| (w.label().to_string(), r.energy.clone()))
         .collect()
 }
 
@@ -394,35 +426,58 @@ pub struct Fig5Row {
 /// Figure 5: energy savings versus CP-Limit for DMA-TA and DMA-TA-PL with
 /// 2/3/6 groups, over the given workloads.
 pub fn fig5(exp: ExpConfig, workloads: &[Workload], cp_limits: &[f64]) -> Vec<Fig5Row> {
+    fig5_ctx(&SweepCtx::serial(), exp, workloads, cp_limits)
+}
+
+/// [`fig5`] on a sweep context: one memoized baseline per workload (wave
+/// one), then every `(workload, CP-Limit, scheme)` point in parallel
+/// (wave two).
+pub fn fig5_ctx(
+    ctx: &SweepCtx,
+    exp: ExpConfig,
+    workloads: &[Workload],
+    cp_limits: &[f64],
+) -> Vec<Fig5Row> {
     let config = paper_system();
-    let mut rows = Vec::new();
-    for &w in workloads {
-        let trace = w.generate(exp.duration, exp.seed);
+    let traces: Vec<SharedTrace> = workloads.iter().map(|w| w.shared_trace(ctx, exp)).collect();
+    let baselines = ctx.run_batch(
+        traces
+            .iter()
+            .map(|t| SimJob::new(config.clone(), Scheme::baseline(), t.clone()))
+            .collect(),
+    );
+    let mut jobs = Vec::new();
+    let mut points = Vec::new();
+    for ((wi, &w), trace) in workloads.iter().enumerate().zip(&traces) {
         let extra = w.client_extra_latency();
-        let baseline = ServerSimulator::new(config.clone(), Scheme::baseline()).run(&trace);
         for &cp in cp_limits {
-            let mu = mu_from_baseline(&config, &baseline, cp, extra);
-            let schemes = [
+            let mu = mu_from_baseline(&config, &baselines[wi], cp, extra);
+            for scheme in [
                 Scheme::dma_ta(mu),
                 Scheme::dma_ta_pl(mu, 2),
                 Scheme::dma_ta_pl(mu, 3),
                 Scheme::dma_ta_pl(mu, 6),
-            ];
-            for scheme in schemes {
-                let r = ServerSimulator::new(config.clone(), scheme).run(&trace);
-                let degradation = client_degradation(&r, &baseline, extra);
-                rows.push(Fig5Row {
-                    workload: w.label().to_string(),
-                    cp_limit: cp,
-                    scheme: scheme.label(),
-                    savings: r.savings_vs(&baseline),
-                    degradation,
-                    within_limit: degradation <= cp + 0.02,
-                });
+            ] {
+                jobs.push(SimJob::new(config.clone(), scheme, trace.clone()));
+                points.push((wi, w, cp, scheme, extra));
             }
         }
     }
-    rows
+    points
+        .into_iter()
+        .zip(ctx.run_batch(jobs))
+        .map(|((wi, w, cp, scheme, extra), r)| {
+            let degradation = client_degradation(&r, &baselines[wi], extra);
+            Fig5Row {
+                workload: w.label().to_string(),
+                cp_limit: cp,
+                scheme: scheme.label(),
+                savings: r.savings_vs(&baselines[wi]),
+                degradation,
+                within_limit: degradation <= cp + 0.02,
+            }
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -431,17 +486,25 @@ pub fn fig5(exp: ExpConfig, workloads: &[Workload], cp_limits: &[f64]) -> Vec<Fi
 /// Figure 6: energy breakdowns of baseline, DMA-TA, and DMA-TA-PL(2) for
 /// OLTP-St at the given CP-Limit (the paper uses 10 %).
 pub fn fig6(exp: ExpConfig, cp_limit: f64) -> Vec<(String, EnergyBreakdown)> {
+    fig6_ctx(&SweepCtx::serial(), exp, cp_limit)
+}
+
+/// [`fig6`] on a sweep context (shares the OLTP-St baseline with Figures
+/// 5 and 7).
+pub fn fig6_ctx(ctx: &SweepCtx, exp: ExpConfig, cp_limit: f64) -> Vec<(String, EnergyBreakdown)> {
     let config = paper_system();
-    let trace = Workload::OltpSt.generate(exp.duration, exp.seed);
+    let trace = Workload::OltpSt.shared_trace(ctx, exp);
     let extra = Workload::OltpSt.client_extra_latency();
-    let baseline = ServerSimulator::new(config.clone(), Scheme::baseline()).run(&trace);
+    let baseline = ctx.run(&config, Scheme::baseline(), &trace);
     let mu = mu_from_baseline(&config, &baseline, cp_limit, extra);
-    let ta = ServerSimulator::new(config.clone(), Scheme::dma_ta(mu)).run(&trace);
-    let tapl = ServerSimulator::new(config, Scheme::dma_ta_pl(mu, 2)).run(&trace);
+    let schemes = ctx.run_batch(vec![
+        SimJob::new(config.clone(), Scheme::dma_ta(mu), trace.clone()),
+        SimJob::new(config, Scheme::dma_ta_pl(mu, 2), trace),
+    ]);
     vec![
-        ("baseline".into(), baseline.energy),
-        ("DMA-TA".into(), ta.energy),
-        ("DMA-TA-PL(2)".into(), tapl.energy),
+        ("baseline".into(), baseline.energy.clone()),
+        ("DMA-TA".into(), schemes[0].energy.clone()),
+        ("DMA-TA-PL(2)".into(), schemes[1].energy.clone()),
     ]
 }
 
@@ -463,22 +526,39 @@ pub struct Fig7Row {
 
 /// Figure 7: utilization factors versus CP-Limit for OLTP-St.
 pub fn fig7(exp: ExpConfig, cp_limits: &[f64]) -> Vec<Fig7Row> {
+    fig7_ctx(&SweepCtx::serial(), exp, cp_limits)
+}
+
+/// [`fig7`] on a sweep context (shares the OLTP-St baseline and, at
+/// matching CP-Limits, the DMA-TA / DMA-TA-PL(2) runs with Figure 5).
+pub fn fig7_ctx(ctx: &SweepCtx, exp: ExpConfig, cp_limits: &[f64]) -> Vec<Fig7Row> {
     let config = paper_system();
-    let trace = Workload::OltpSt.generate(exp.duration, exp.seed);
+    let trace = Workload::OltpSt.shared_trace(ctx, exp);
     let extra = Workload::OltpSt.client_extra_latency();
-    let baseline = ServerSimulator::new(config.clone(), Scheme::baseline()).run(&trace);
+    let baseline = ctx.run(&config, Scheme::baseline(), &trace);
+    let mut jobs = Vec::new();
+    for &cp in cp_limits {
+        let mu = mu_from_baseline(&config, &baseline, cp, extra);
+        jobs.push(SimJob::new(
+            config.clone(),
+            Scheme::dma_ta(mu),
+            trace.clone(),
+        ));
+        jobs.push(SimJob::new(
+            config.clone(),
+            Scheme::dma_ta_pl(mu, 2),
+            trace.clone(),
+        ));
+    }
+    let results = ctx.run_batch(jobs);
     cp_limits
         .iter()
-        .map(|&cp| {
-            let mu = mu_from_baseline(&config, &baseline, cp, extra);
-            let ta = ServerSimulator::new(config.clone(), Scheme::dma_ta(mu)).run(&trace);
-            let tapl = ServerSimulator::new(config.clone(), Scheme::dma_ta_pl(mu, 2)).run(&trace);
-            Fig7Row {
-                cp_limit: cp,
-                uf_baseline: baseline.utilization_factor(),
-                uf_ta: ta.utilization_factor(),
-                uf_tapl: tapl.utilization_factor(),
-            }
+        .zip(results.chunks(2))
+        .map(|(&cp, pair)| Fig7Row {
+            cp_limit: cp,
+            uf_baseline: baseline.utilization_factor(),
+            uf_ta: pair[0].utilization_factor(),
+            uf_tapl: pair[1].utilization_factor(),
         })
         .collect()
 }
@@ -500,25 +580,55 @@ pub struct Fig8Row {
 /// Figure 8: energy savings versus workload intensity (Synthetic-St with
 /// varying arrival rate; CP-Limit fixed, paper uses 10 %).
 pub fn fig8(exp: ExpConfig, rates: &[f64], cp_limit: f64) -> Vec<Fig8Row> {
+    fig8_ctx(&SweepCtx::serial(), exp, rates, cp_limit)
+}
+
+/// [`fig8`] on a sweep context: per-rate baselines in wave one, the
+/// DMA-TA / DMA-TA-PL(2) pairs in wave two.
+pub fn fig8_ctx(ctx: &SweepCtx, exp: ExpConfig, rates: &[f64], cp_limit: f64) -> Vec<Fig8Row> {
     let config = paper_system();
-    rates
+    let extra = Workload::SyntheticSt.client_extra_latency();
+    let traces: Vec<SharedTrace> = rates
         .iter()
         .map(|&rate| {
             let gen = SyntheticStorageGen {
                 transfers_per_ms: rate,
                 ..Default::default()
             };
-            let trace = gen.generate(exp.duration, exp.seed);
-            let extra = Workload::SyntheticSt.client_extra_latency();
-            let baseline = ServerSimulator::new(config.clone(), Scheme::baseline()).run(&trace);
-            let mu = mu_from_baseline(&config, &baseline, cp_limit, extra);
-            let ta = ServerSimulator::new(config.clone(), Scheme::dma_ta(mu)).run(&trace);
-            let tapl = ServerSimulator::new(config.clone(), Scheme::dma_ta_pl(mu, 2)).run(&trace);
-            Fig8Row {
-                transfers_per_ms: rate,
-                savings_ta: ta.savings_vs(&baseline),
-                savings_tapl: tapl.savings_vs(&baseline),
-            }
+            ctx.trace(format!("{gen:?}|{:?}|{}", exp.duration, exp.seed), || {
+                gen.generate(exp.duration, exp.seed)
+            })
+        })
+        .collect();
+    let baselines = ctx.run_batch(
+        traces
+            .iter()
+            .map(|t| SimJob::new(config.clone(), Scheme::baseline(), t.clone()))
+            .collect(),
+    );
+    let mut jobs = Vec::new();
+    for (trace, baseline) in traces.iter().zip(&baselines) {
+        let mu = mu_from_baseline(&config, baseline, cp_limit, extra);
+        jobs.push(SimJob::new(
+            config.clone(),
+            Scheme::dma_ta(mu),
+            trace.clone(),
+        ));
+        jobs.push(SimJob::new(
+            config.clone(),
+            Scheme::dma_ta_pl(mu, 2),
+            trace.clone(),
+        ));
+    }
+    let results = ctx.run_batch(jobs);
+    rates
+        .iter()
+        .zip(&baselines)
+        .zip(results.chunks(2))
+        .map(|((&rate, baseline), pair)| Fig8Row {
+            transfers_per_ms: rate,
+            savings_ta: pair[0].savings_vs(baseline),
+            savings_tapl: pair[1].savings_vs(baseline),
         })
         .collect()
 }
@@ -540,22 +650,52 @@ pub struct Fig9Row {
 /// Figure 9: energy savings versus processor accesses per transfer
 /// (Synthetic-Db with injected processor bursts; CP-Limit fixed).
 pub fn fig9(exp: ExpConfig, counts: &[f64], cp_limit: f64) -> Vec<Fig9Row> {
+    fig9_ctx(&SweepCtx::serial(), exp, counts, cp_limit)
+}
+
+/// [`fig9`] on a sweep context: per-intensity baselines in wave one, the
+/// DMA-TA / DMA-TA-PL(2) pairs in wave two.
+pub fn fig9_ctx(ctx: &SweepCtx, exp: ExpConfig, counts: &[f64], cp_limit: f64) -> Vec<Fig9Row> {
     let config = paper_system();
-    counts
+    let extra = Workload::SyntheticDb.client_extra_latency();
+    let traces: Vec<SharedTrace> = counts
         .iter()
         .map(|&n| {
             let gen = SyntheticDbGen::default().with_proc_per_transfer(n);
-            let trace = gen.generate(exp.duration, exp.seed);
-            let extra = Workload::SyntheticDb.client_extra_latency();
-            let baseline = ServerSimulator::new(config.clone(), Scheme::baseline()).run(&trace);
-            let mu = mu_from_baseline(&config, &baseline, cp_limit, extra);
-            let ta = ServerSimulator::new(config.clone(), Scheme::dma_ta(mu)).run(&trace);
-            let tapl = ServerSimulator::new(config.clone(), Scheme::dma_ta_pl(mu, 2)).run(&trace);
-            Fig9Row {
-                proc_per_transfer: n,
-                savings_ta: ta.savings_vs(&baseline),
-                savings_tapl: tapl.savings_vs(&baseline),
-            }
+            ctx.trace(format!("{gen:?}|{:?}|{}", exp.duration, exp.seed), || {
+                gen.generate(exp.duration, exp.seed)
+            })
+        })
+        .collect();
+    let baselines = ctx.run_batch(
+        traces
+            .iter()
+            .map(|t| SimJob::new(config.clone(), Scheme::baseline(), t.clone()))
+            .collect(),
+    );
+    let mut jobs = Vec::new();
+    for (trace, baseline) in traces.iter().zip(&baselines) {
+        let mu = mu_from_baseline(&config, baseline, cp_limit, extra);
+        jobs.push(SimJob::new(
+            config.clone(),
+            Scheme::dma_ta(mu),
+            trace.clone(),
+        ));
+        jobs.push(SimJob::new(
+            config.clone(),
+            Scheme::dma_ta_pl(mu, 2),
+            trace.clone(),
+        ));
+    }
+    let results = ctx.run_batch(jobs);
+    counts
+        .iter()
+        .zip(&baselines)
+        .zip(results.chunks(2))
+        .map(|((&n, baseline), pair)| Fig9Row {
+            proc_per_transfer: n,
+            savings_ta: pair[0].savings_vs(baseline),
+            savings_tapl: pair[1].savings_vs(baseline),
         })
         .collect()
 }
@@ -580,25 +720,60 @@ pub struct Fig10Row {
 /// bandwidth. Memory stays at 3.2 GB/s while the bus rate sweeps
 /// (paper: 0.5, 1.064, 2, 3 GB/s), for OLTP-St and Synthetic-St.
 pub fn fig10(exp: ExpConfig, bus_rates: &[f64], cp_limit: f64) -> Vec<Fig10Row> {
-    let mut rows = Vec::new();
-    for &w in &[Workload::OltpSt, Workload::SyntheticSt] {
-        let trace = w.generate(exp.duration, exp.seed);
-        let extra = w.client_extra_latency();
+    fig10_ctx(&SweepCtx::serial(), exp, bus_rates, cp_limit)
+}
+
+/// [`fig10`] on a sweep context: one baseline per `(workload, bus rate)`
+/// in wave one, the scheme pairs in wave two.
+pub fn fig10_ctx(
+    ctx: &SweepCtx,
+    exp: ExpConfig,
+    bus_rates: &[f64],
+    cp_limit: f64,
+) -> Vec<Fig10Row> {
+    let workloads = [Workload::OltpSt, Workload::SyntheticSt];
+    let mut points = Vec::new();
+    for &w in &workloads {
+        let trace = w.shared_trace(ctx, exp);
         for &rate in bus_rates {
             let config = paper_system().with_buses(3, BusConfig::with_rate(rate));
-            let baseline = ServerSimulator::new(config.clone(), Scheme::baseline()).run(&trace);
-            let mu = mu_from_baseline(&config, &baseline, cp_limit, extra);
-            let ta = ServerSimulator::new(config.clone(), Scheme::dma_ta(mu)).run(&trace);
-            let tapl = ServerSimulator::new(config.clone(), Scheme::dma_ta_pl(mu, 2)).run(&trace);
-            rows.push(Fig10Row {
-                workload: w.label().to_string(),
-                ratio: 3.2e9 / rate,
-                savings_ta: ta.savings_vs(&baseline),
-                savings_tapl: tapl.savings_vs(&baseline),
-            });
+            points.push((w, rate, config, trace.clone()));
         }
     }
-    rows
+    let baselines = ctx.run_batch(
+        points
+            .iter()
+            .map(|(_, _, config, trace)| {
+                SimJob::new(config.clone(), Scheme::baseline(), trace.clone())
+            })
+            .collect(),
+    );
+    let mut jobs = Vec::new();
+    for ((w, _, config, trace), baseline) in points.iter().zip(&baselines) {
+        let mu = mu_from_baseline(config, baseline, cp_limit, w.client_extra_latency());
+        jobs.push(SimJob::new(
+            config.clone(),
+            Scheme::dma_ta(mu),
+            trace.clone(),
+        ));
+        jobs.push(SimJob::new(
+            config.clone(),
+            Scheme::dma_ta_pl(mu, 2),
+            trace.clone(),
+        ));
+    }
+    let results = ctx.run_batch(jobs);
+    points
+        .iter()
+        .zip(&baselines)
+        .zip(results.chunks(2))
+        .map(|(((w, rate, _, _), baseline), pair)| Fig10Row {
+            workload: w.label().to_string(),
+            ratio: 3.2e9 / rate,
+            savings_ta: pair[0].savings_vs(baseline),
+            savings_tapl: pair[1].savings_vs(baseline),
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -626,6 +801,11 @@ pub struct GroupAblationRow {
 /// rank fluctuations across them pay increasing migration churn — K = 2
 /// migrates least.
 pub fn group_ablation(exp: ExpConfig, cp_limit: f64) -> Vec<GroupAblationRow> {
+    group_ablation_ctx(&SweepCtx::serial(), exp, cp_limit)
+}
+
+/// [`group_ablation`] on a sweep context.
+pub fn group_ablation_ctx(ctx: &SweepCtx, exp: ExpConfig, cp_limit: f64) -> Vec<GroupAblationRow> {
     let config = SystemConfig {
         chips: 32,
         power_model: PowerModel::rdram().with_chip_bytes(64 * 8192),
@@ -638,19 +818,26 @@ pub fn group_ablation(exp: ExpConfig, cp_limit: f64) -> Vec<GroupAblationRow> {
         zipf_alpha: 0.5,
         ..Default::default()
     };
-    let trace = gen.generate(exp.duration, exp.seed);
-    let baseline = ServerSimulator::new(config.clone(), Scheme::baseline()).run(&trace);
+    let trace = ctx.trace(format!("{gen:?}|{:?}|{}", exp.duration, exp.seed), || {
+        gen.generate(exp.duration, exp.seed)
+    });
+    let baseline = ctx.run(&config, Scheme::baseline(), &trace);
     let extra = Workload::SyntheticSt.client_extra_latency();
     let mu = mu_from_baseline(&config, &baseline, cp_limit, extra);
-    [2usize, 3, 6]
+    let groups = [2usize, 3, 6];
+    let results = ctx.run_batch(
+        groups
+            .iter()
+            .map(|&g| SimJob::new(config.clone(), Scheme::dma_ta_pl(mu, g), trace.clone()))
+            .collect(),
+    );
+    groups
         .iter()
-        .map(|&groups| {
-            let r = ServerSimulator::new(config.clone(), Scheme::dma_ta_pl(mu, groups)).run(&trace);
-            GroupAblationRow {
-                groups,
-                savings: r.savings_vs(&baseline),
-                page_moves: r.page_moves,
-            }
+        .zip(results)
+        .map(|(&groups, r)| GroupAblationRow {
+            groups,
+            savings: r.savings_vs(&baseline),
+            page_moves: r.page_moves,
         })
         .collect()
 }
@@ -677,21 +864,34 @@ pub struct TpchRow {
 /// sparse per-interval counts see no stable hot set) while DMA-TA still
 /// aligns scans that collide on a chip.
 pub fn tpch(exp: ExpConfig, cp_limit: f64) -> Vec<TpchRow> {
+    tpch_ctx(&SweepCtx::serial(), exp, cp_limit)
+}
+
+/// [`tpch`] on a sweep context.
+pub fn tpch_ctx(ctx: &SweepCtx, exp: ExpConfig, cp_limit: f64) -> Vec<TpchRow> {
     let config = paper_system();
-    let trace = TpchScanGen::default().generate(exp.duration, exp.seed);
-    let baseline = ServerSimulator::new(config.clone(), Scheme::baseline()).run(&trace);
+    let gen = TpchScanGen::default();
+    let trace = ctx.trace(format!("{gen:?}|{:?}|{}", exp.duration, exp.seed), || {
+        gen.generate(exp.duration, exp.seed)
+    });
+    let baseline = ctx.run(&config, Scheme::baseline(), &trace);
     // Scan service is memory-resident; client response ~ the transfer path.
     let mu = mu_from_baseline(&config, &baseline, cp_limit, SimDuration::from_ms(1));
-    [Scheme::dma_ta(mu), Scheme::dma_ta_pl(mu, 2)]
-        .into_iter()
-        .map(|scheme| {
-            let r = ServerSimulator::new(config.clone(), scheme).run(&trace);
-            TpchRow {
-                scheme: scheme.label(),
-                savings: r.savings_vs(&baseline),
-                page_moves: r.page_moves,
-                uf: r.utilization_factor(),
-            }
+    let schemes = [Scheme::dma_ta(mu), Scheme::dma_ta_pl(mu, 2)];
+    let results = ctx.run_batch(
+        schemes
+            .iter()
+            .map(|&s| SimJob::new(config.clone(), s, trace.clone()))
+            .collect(),
+    );
+    schemes
+        .iter()
+        .zip(results)
+        .map(|(scheme, r)| TpchRow {
+            scheme: scheme.label(),
+            savings: r.savings_vs(&baseline),
+            page_moves: r.page_moves,
+            uf: r.utilization_factor(),
         })
         .collect()
 }
@@ -721,14 +921,26 @@ pub struct ObservedRun {
 /// transitions, TA gather/release decisions, the slack ledger, and PL page
 /// migrations — so its export is the canonical audit-trail sample.
 pub fn observed_run(exp: ExpConfig, cp_limit: f64, event_capacity: usize) -> ObservedRun {
+    observed_run_ctx(&SweepCtx::serial(), exp, cp_limit, event_capacity)
+}
+
+/// [`observed_run`] on a sweep context. The baseline and trace come from
+/// the shared caches; the instrumented run itself stays outside the memo
+/// (its observability state makes it unlike the plain figure runs).
+pub fn observed_run_ctx(
+    ctx: &SweepCtx,
+    exp: ExpConfig,
+    cp_limit: f64,
+    event_capacity: usize,
+) -> ObservedRun {
     let config = paper_system();
-    let trace = Workload::OltpSt.generate(exp.duration, exp.seed);
+    let trace = Workload::OltpSt.shared_trace(ctx, exp);
     let extra = Workload::OltpSt.client_extra_latency();
-    let baseline = ServerSimulator::new(config.clone(), Scheme::baseline()).run(&trace);
+    let baseline = ctx.run(&config, Scheme::baseline(), &trace);
     let mu = mu_from_baseline(&config, &baseline, cp_limit, extra);
     let result = ServerSimulator::new(config.clone(), Scheme::dma_ta_pl(mu, 2))
         .with_observability(event_capacity)
-        .run(&trace);
+        .run(trace.trace());
     ObservedRun {
         workload: Workload::OltpSt.label().to_string(),
         scheme: result.scheme.clone(),

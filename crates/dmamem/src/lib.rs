@@ -20,6 +20,9 @@
 //!   schemes above.
 //! * **[`experiments`]** — one runner per table/figure of the paper's
 //!   evaluation section.
+//! * **[`sweep`]** — the parallel sweep engine the runners use: memoized
+//!   simulation results and shared traces over a work-stealing pool, with
+//!   bit-identical output at any thread count.
 //!
 //! # Quickstart
 //!
@@ -46,6 +49,7 @@ pub mod experiments;
 mod layout;
 mod metrics;
 pub mod obs;
+pub mod sweep;
 mod system;
 pub mod timeline;
 

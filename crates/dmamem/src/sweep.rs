@@ -1,0 +1,408 @@
+//! The parallel sweep engine: memoized simulation runs over shared traces.
+//!
+//! Every figure of the paper's evaluation is a matrix of independent
+//! [`ServerSimulator::run`] calls, and the matrix is highly redundant: the
+//! same baseline configuration is re-simulated for nearly every row, and
+//! the same synthetic trace is regenerated per point. [`SweepCtx`] removes
+//! both redundancies and runs what remains in parallel:
+//!
+//! * **Shared traces** — [`SweepCtx::trace`] caches generated traces as
+//!   [`Arc<Trace>`] under a caller-supplied key, so every scheme run over
+//!   a workload reads one in-memory copy.
+//! * **Memoized runs** — results are cached under an injective key built
+//!   from the full `(SystemConfig, Scheme, trace)` tuple (`Debug`-derived;
+//!   Rust's shortest-roundtrip float formatting makes it collision-free),
+//!   so a baseline shared by six CP-Limit points executes once.
+//! * **Parallel batches** — [`SweepCtx::run_batch`] executes the
+//!   non-memoized jobs on a [`simcore::par`] work-stealing pool and
+//!   returns results in job order.
+//!
+//! Determinism: the simulator itself is deterministic, batch results come
+//! back in input order, and memoization only ever substitutes a result
+//! for an identical `(config, scheme, trace)` run — so figure outputs are
+//! **bit-identical** at any thread count, with memoization on or off.
+//! `crates/dmamem/tests/sweep_determinism.rs` property-tests exactly that.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use dma_trace::Trace;
+use simcore::par;
+
+use crate::config::{Scheme, SystemConfig};
+use crate::metrics::SimResult;
+use crate::system::ServerSimulator;
+
+// The engine moves these across worker threads; keep the requirement
+// visible at compile time rather than deep inside a closure error.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SimResult>();
+    assert_send_sync::<Trace>();
+    assert_send_sync::<SystemConfig>();
+    assert_send_sync::<Scheme>();
+};
+
+/// A generated trace shared across sweep jobs: an [`Arc<Trace>`] plus the
+/// cache key identifying how it was generated.
+#[derive(Debug, Clone)]
+pub struct SharedTrace {
+    key: Arc<str>,
+    trace: Arc<Trace>,
+}
+
+impl SharedTrace {
+    /// Wraps an already-built trace under an explicit identity key.
+    ///
+    /// The key must uniquely describe the trace's contents (generator
+    /// parameters, duration, seed); two different traces under one key
+    /// would alias in the memo table.
+    pub fn new(key: impl Into<String>, trace: Trace) -> Self {
+        SharedTrace {
+            key: Arc::from(key.into()),
+            trace: Arc::new(trace),
+        }
+    }
+
+    /// The identity key.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// The shared trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+}
+
+/// One sweep job: a full simulation of `scheme` on `config` over `trace`.
+#[derive(Debug, Clone)]
+pub struct SimJob {
+    /// System configuration for the run.
+    pub config: SystemConfig,
+    /// Scheme under evaluation.
+    pub scheme: Scheme,
+    /// The (shared) input trace.
+    pub trace: SharedTrace,
+}
+
+impl SimJob {
+    /// Creates a job.
+    pub fn new(config: SystemConfig, scheme: Scheme, trace: SharedTrace) -> Self {
+        SimJob {
+            config,
+            scheme,
+            trace,
+        }
+    }
+
+    /// The memoization key: injective over `(config, scheme, trace key)`.
+    ///
+    /// Built from `Debug` output; Rust formats floats as the shortest
+    /// string that round-trips, so distinct configurations always produce
+    /// distinct keys (property-tested in this module and in
+    /// `tests/sweep_determinism.rs`).
+    pub fn memo_key(&self) -> String {
+        // \u{1} cannot appear in Debug output of these plain data types,
+        // so the three parts cannot bleed into each other.
+        format!(
+            "{:?}\u{1}{:?}\u{1}{}",
+            self.config, self.scheme, self.trace.key
+        )
+    }
+}
+
+/// Memoization statistics of a [`SweepCtx`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoStats {
+    /// Jobs answered from the result cache (or deduplicated in-batch).
+    pub hits: u64,
+    /// Jobs that executed a simulation.
+    pub misses: u64,
+    /// Traces served from the trace cache.
+    pub trace_hits: u64,
+    /// Traces generated.
+    pub trace_misses: u64,
+}
+
+/// The sweep engine: a thread pool plus result and trace caches.
+///
+/// # Example
+///
+/// ```
+/// use dmamem::sweep::{SimJob, SweepCtx};
+/// use dmamem::{Scheme, SystemConfig};
+/// use dma_trace::TraceGen;
+/// use simcore::SimDuration;
+///
+/// let ctx = SweepCtx::new(2);
+/// let trace = ctx.trace("demo", || {
+///     dma_trace::SyntheticStorageGen::default().generate(SimDuration::from_us(200), 7)
+/// });
+/// let jobs = vec![
+///     SimJob::new(SystemConfig::default(), Scheme::baseline(), trace.clone()),
+///     SimJob::new(SystemConfig::default(), Scheme::dma_ta(0.5), trace.clone()),
+///     // Duplicate of the first job: memoized, simulated only once.
+///     SimJob::new(SystemConfig::default(), Scheme::baseline(), trace),
+/// ];
+/// let results = ctx.run_batch(jobs);
+/// assert_eq!(results[0].energy, results[2].energy);
+/// assert_eq!(ctx.memo_stats().misses, 2);
+/// ```
+#[derive(Debug)]
+pub struct SweepCtx {
+    threads: usize,
+    memoize: bool,
+    memo: Mutex<HashMap<Arc<str>, Arc<SimResult>>>,
+    traces: Mutex<HashMap<Arc<str>, SharedTrace>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    trace_hits: AtomicU64,
+    trace_misses: AtomicU64,
+}
+
+impl SweepCtx {
+    /// Creates a sweep context running jobs on up to `threads` workers
+    /// (`0` = all available cores), with memoization enabled.
+    pub fn new(threads: usize) -> Self {
+        SweepCtx {
+            threads: par::resolve_threads(threads),
+            memoize: true,
+            memo: Mutex::new(HashMap::new()),
+            traces: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            trace_hits: AtomicU64::new(0),
+            trace_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A single-threaded context — the drop-in replacement for the old
+    /// serial figure loops.
+    pub fn serial() -> Self {
+        SweepCtx::new(1)
+    }
+
+    /// Enables or disables result memoization (traces stay cached either
+    /// way). Exists so tests can prove memoization does not change
+    /// results; sweeps want it on.
+    pub fn with_memoize(mut self, on: bool) -> Self {
+        self.memoize = on;
+        self
+    }
+
+    /// Worker threads in use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Memoization statistics so far.
+    pub fn memo_stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            trace_hits: self.trace_hits.load(Ordering::Relaxed),
+            trace_misses: self.trace_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Returns the trace cached under `key`, generating it with `gen` on
+    /// first use. The key must uniquely describe the generator, duration,
+    /// and seed (see [`SharedTrace::new`]).
+    pub fn trace(&self, key: impl Into<String>, gen: impl FnOnce() -> Trace) -> SharedTrace {
+        let key: Arc<str> = Arc::from(key.into());
+        let mut traces = self.traces.lock().unwrap();
+        if let Some(t) = traces.get(&key) {
+            self.trace_hits.fetch_add(1, Ordering::Relaxed);
+            return t.clone();
+        }
+        self.trace_misses.fetch_add(1, Ordering::Relaxed);
+        let shared = SharedTrace {
+            key: Arc::clone(&key),
+            trace: Arc::new(gen()),
+        };
+        traces.insert(key, shared.clone());
+        shared
+    }
+
+    /// Runs one job (memoized). Equivalent to a one-job [`run_batch`].
+    pub fn run(
+        &self,
+        config: &SystemConfig,
+        scheme: Scheme,
+        trace: &SharedTrace,
+    ) -> Arc<SimResult> {
+        self.run_batch(vec![SimJob::new(config.clone(), scheme, trace.clone())])
+            .pop()
+            .expect("one job in, one result out")
+    }
+
+    /// Runs a batch of jobs, in parallel, and returns their results in
+    /// job order.
+    ///
+    /// With memoization on, jobs whose key already has a cached result —
+    /// or that repeat an earlier job in this same batch — do not
+    /// simulate; everything else runs on the work-stealing pool.
+    pub fn run_batch(&self, jobs: Vec<SimJob>) -> Vec<Arc<SimResult>> {
+        if !self.memoize {
+            self.misses.fetch_add(jobs.len() as u64, Ordering::Relaxed);
+            return par::map(self.threads, jobs, |job| {
+                Arc::new(ServerSimulator::new(job.config, job.scheme).run(job.trace.trace()))
+            });
+        }
+
+        let keys: Vec<Arc<str>> = jobs.iter().map(|j| Arc::from(j.memo_key())).collect();
+        // First occurrence of each un-cached key becomes a pending run.
+        let mut pending: Vec<(Arc<str>, SimJob)> = Vec::new();
+        {
+            let memo = self.memo.lock().unwrap();
+            let mut claimed: HashMap<&str, ()> = HashMap::new();
+            for (job, key) in jobs.iter().zip(&keys) {
+                if memo.contains_key(key) || claimed.contains_key(key.as_ref()) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    claimed.insert(key, ());
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    pending.push((Arc::clone(key), job.clone()));
+                }
+            }
+        }
+        let fresh = par::map(self.threads, pending, |(key, job)| {
+            let r = Arc::new(ServerSimulator::new(job.config, job.scheme).run(job.trace.trace()));
+            (key, r)
+        });
+        let mut memo = self.memo.lock().unwrap();
+        for (key, r) in fresh {
+            memo.insert(key, r);
+        }
+        keys.iter()
+            .map(|k| Arc::clone(memo.get(k).expect("every batch key resolved")))
+            .collect()
+    }
+}
+
+impl Default for SweepCtx {
+    fn default() -> Self {
+        SweepCtx::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dma_trace::TraceGen;
+    use simcore::SimDuration;
+
+    fn tiny_trace(ctx: &SweepCtx, seed: u64) -> SharedTrace {
+        ctx.trace(format!("tiny|{seed}"), || {
+            dma_trace::SyntheticStorageGen {
+                pages: 4096,
+                ..Default::default()
+            }
+            .generate(SimDuration::from_us(300), seed)
+        })
+    }
+
+    fn small_config() -> SystemConfig {
+        SystemConfig {
+            pages: 4096,
+            ..SystemConfig::default()
+        }
+    }
+
+    #[test]
+    fn duplicate_jobs_simulate_once_and_share_results() {
+        let ctx = SweepCtx::new(2);
+        let trace = tiny_trace(&ctx, 5);
+        let jobs: Vec<SimJob> = (0..6)
+            .map(|_| SimJob::new(small_config(), Scheme::baseline(), trace.clone()))
+            .collect();
+        let results = ctx.run_batch(jobs);
+        assert_eq!(results.len(), 6);
+        for r in &results[1..] {
+            assert!(Arc::ptr_eq(&results[0], r), "memo must share the Arc");
+        }
+        let stats = ctx.memo_stats();
+        assert_eq!((stats.hits, stats.misses), (5, 1));
+    }
+
+    #[test]
+    fn memo_persists_across_batches() {
+        let ctx = SweepCtx::serial();
+        let trace = tiny_trace(&ctx, 5);
+        let a = ctx.run(&small_config(), Scheme::baseline(), &trace);
+        let b = ctx.run(&small_config(), Scheme::baseline(), &trace);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(ctx.memo_stats().misses, 1);
+    }
+
+    #[test]
+    fn trace_cache_generates_once_per_key() {
+        let ctx = SweepCtx::serial();
+        let a = tiny_trace(&ctx, 5);
+        let b = tiny_trace(&ctx, 5);
+        let c = tiny_trace(&ctx, 6);
+        assert!(Arc::ptr_eq(&a.trace, &b.trace));
+        assert!(!Arc::ptr_eq(&a.trace, &c.trace));
+        let stats = ctx.memo_stats();
+        assert_eq!((stats.trace_hits, stats.trace_misses), (1, 2));
+    }
+
+    #[test]
+    fn memo_keys_distinguish_every_tuple_part() {
+        let ctx = SweepCtx::serial();
+        let trace = tiny_trace(&ctx, 5);
+        let other_trace = tiny_trace(&ctx, 6);
+        let base = SimJob::new(small_config(), Scheme::baseline(), trace.clone());
+        let variants = [
+            SimJob::new(
+                SystemConfig {
+                    chips: 16,
+                    pages: 4096,
+                    ..SystemConfig::default()
+                },
+                Scheme::baseline(),
+                trace.clone(),
+            ),
+            SimJob::new(small_config(), Scheme::dma_ta(0.0), trace.clone()),
+            SimJob::new(small_config(), Scheme::dma_ta(0.1), trace.clone()),
+            // Floats that print alike under naive rounding must not
+            // collide: shortest-roundtrip Debug keeps them distinct.
+            SimJob::new(small_config(), Scheme::dma_ta(0.1 + 1e-12), trace.clone()),
+            SimJob::new(small_config(), Scheme::dma_ta_pl(0.1, 2), trace.clone()),
+            SimJob::new(small_config(), Scheme::dma_ta_pl(0.1, 3), trace),
+            SimJob::new(small_config(), Scheme::baseline(), other_trace),
+        ];
+        let base_key = base.memo_key();
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(base_key.clone());
+        for v in &variants {
+            let k = v.memo_key();
+            assert_ne!(k, base_key);
+            assert!(seen.insert(k), "memo key collision for {v:?}");
+        }
+    }
+
+    #[test]
+    fn memoize_off_still_returns_identical_results() {
+        let on = SweepCtx::new(2);
+        let off = SweepCtx::new(2).with_memoize(false);
+        let jobs = |ctx: &SweepCtx| {
+            let trace = tiny_trace(ctx, 9);
+            vec![
+                SimJob::new(small_config(), Scheme::baseline(), trace.clone()),
+                SimJob::new(small_config(), Scheme::baseline(), trace.clone()),
+                SimJob::new(small_config(), Scheme::dma_ta(0.5), trace),
+            ]
+        };
+        let a = on.run_batch(jobs(&on));
+        let b = off.run_batch(jobs(&off));
+        assert_eq!(off.memo_stats().hits, 0);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.energy, y.energy);
+            assert_eq!(x.dma_requests, y.dma_requests);
+            assert_eq!(x.transfers, y.transfers);
+        }
+    }
+}

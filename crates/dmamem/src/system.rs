@@ -15,7 +15,6 @@
 //!   PL recomputes the page layout every interval and executes migrations
 //!   as chip-busy copy work.
 
-use std::collections::HashMap;
 use std::collections::VecDeque;
 
 use dma_trace::{Trace, TraceEvent};
@@ -207,7 +206,10 @@ struct Engine<'a> {
     buses: Vec<Bus>,
     bus_gen: Vec<u64>,
     page_map: PageMap,
-    tracks: HashMap<TransferId, Track>,
+    /// Live-transfer bookkeeping, indexed by `tid - 1`: transfer IDs are
+    /// handed out densely from 1, so a slab replaces the hash map the hot
+    /// per-request path used to probe.
+    tracks: Vec<Option<Track>>,
     next_tid: TransferId,
     // DMA-TA state.
     slack: Option<SlackAccount>,
@@ -290,7 +292,7 @@ impl<'a> Engine<'a> {
             buses,
             bus_gen: vec![0; config.buses.len()],
             page_map: PageMap::new_sequential(config),
-            tracks: HashMap::new(),
+            tracks: Vec::new(),
             next_tid: 1,
             slack,
             rule,
@@ -538,13 +540,11 @@ impl<'a> Engine<'a> {
         let tid = self.next_tid;
         self.next_tid += 1;
         let chip = self.page_map.chip_of(page);
-        self.tracks.insert(
-            tid,
-            Track {
-                arrival: self.now,
-                chip,
-            },
-        );
+        debug_assert_eq!(self.tracks.len() + 1, tid as usize);
+        self.tracks.push(Some(Track {
+            arrival: self.now,
+            chip,
+        }));
         self.chips[chip].chip.dma_transfer_started(self.now);
         self.active_transfers += 1;
         self.tl_note(chip);
@@ -620,9 +620,8 @@ impl<'a> Engine<'a> {
                 self.obs.slack_credit(self.now, amount, balance);
             }
         }
-        let chip = self
-            .tracks
-            .get(&req.transfer)
+        let chip = self.tracks[(req.transfer - 1) as usize]
+            .as_ref()
             .expect("request for unknown transfer")
             .chip;
         let sleeping = matches!(
@@ -720,14 +719,18 @@ impl<'a> Engine<'a> {
                 self.dbg_pending_delay_ps += self.now.saturating_since(p.arrival).as_ps() as f64;
             }
             let c = &mut self.chips[chip];
-            let pending = std::mem::take(&mut c.pending);
             for p in &c.pending_per_bus {
                 debug_assert!(*p as usize <= n);
             }
             c.pending_per_bus.iter_mut().for_each(|p| *p = 0);
             self.ta_pending_total -= n;
-            for p in pending {
-                c.dma_ready.push_back(ReadyDma {
+            // Drain in place so the pending buffer keeps its capacity
+            // across gather/release cycles instead of reallocating.
+            let ChipCtl {
+                pending, dma_ready, ..
+            } = c;
+            for p in pending.drain(..) {
+                dma_ready.push_back(ReadyDma {
                     req: p.req,
                     arrival: p.arrival,
                 });
@@ -863,11 +866,10 @@ impl<'a> Engine<'a> {
                 self.served += 1;
                 self.service_sum_ps += (self.now - arrival).as_ps();
                 self.obs.request_served(self.now - arrival);
-                self.dma_serving += self.config.power_model.service_time(req.bytes);
+                self.dma_serving += service;
                 if req.is_last {
-                    let track = self
-                        .tracks
-                        .remove(&req.transfer)
+                    let track = self.tracks[(req.transfer - 1) as usize]
+                        .take()
                         .expect("completion for unknown transfer");
                     self.chips[chip].chip.dma_transfer_ended(self.now);
                     self.active_transfers -= 1;

@@ -16,6 +16,9 @@
 //! * [`obs`] — the observability layer: a named-metric registry (counters,
 //!   gauges, log-scale histograms), a ring-buffered typed-event sink with
 //!   JSONL export, and scoped wall-clock span timers.
+//! * [`par`] — a std-only scoped-thread work-stealing pool with
+//!   input-order results and per-job panic isolation, used by the
+//!   experiment sweep engine.
 //!
 //! # Example
 //!
@@ -35,6 +38,7 @@
 pub mod dist;
 mod event;
 pub mod obs;
+pub mod par;
 pub mod rng;
 pub mod stats;
 mod time;

@@ -9,6 +9,7 @@
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use super::json::JsonObject;
 
@@ -235,11 +236,16 @@ impl HistogramSnapshot {
     }
 }
 
+// Metric names are `Arc<str>` so a snapshot shares them with the registry
+// instead of reallocating every key — snapshots can be taken inside the
+// parallel sweep's hot loop without per-key heap traffic (`Arc<str>` also
+// keeps [`MetricsSnapshot`] `Send` for cross-thread aggregation, which
+// `Rc`-based handles could not).
 #[derive(Debug, Default)]
 struct RegistryInner {
-    counters: BTreeMap<String, Counter>,
-    gauges: BTreeMap<String, Gauge>,
-    histograms: BTreeMap<String, Histogram>,
+    counters: BTreeMap<Arc<str>, Counter>,
+    gauges: BTreeMap<Arc<str>, Gauge>,
+    histograms: BTreeMap<Arc<str>, Histogram>,
 }
 
 /// A registry of named metrics.
@@ -263,7 +269,7 @@ impl MetricsRegistry {
         self.inner
             .borrow_mut()
             .counters
-            .entry(name.to_string())
+            .entry(Arc::from(name))
             .or_default()
             .clone()
     }
@@ -273,7 +279,7 @@ impl MetricsRegistry {
         self.inner
             .borrow_mut()
             .gauges
-            .entry(name.to_string())
+            .entry(Arc::from(name))
             .or_default()
             .clone()
     }
@@ -283,43 +289,47 @@ impl MetricsRegistry {
         self.inner
             .borrow_mut()
             .histograms
-            .entry(name.to_string())
+            .entry(Arc::from(name))
             .or_default()
             .clone()
     }
 
-    /// Freezes the current values of every registered metric.
+    /// Freezes the current values of every registered metric. Key strings
+    /// are shared with the registry (`Arc` bumps), not reallocated.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let inner = self.inner.borrow();
         MetricsSnapshot {
             counters: inner
                 .counters
                 .iter()
-                .map(|(k, v)| (k.clone(), v.get()))
+                .map(|(k, v)| (Arc::clone(k), v.get()))
                 .collect(),
             gauges: inner
                 .gauges
                 .iter()
-                .map(|(k, v)| (k.clone(), v.get()))
+                .map(|(k, v)| (Arc::clone(k), v.get()))
                 .collect(),
             histograms: inner
                 .histograms
                 .iter()
-                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .map(|(k, v)| (Arc::clone(k), v.snapshot()))
                 .collect(),
         }
     }
 }
 
 /// A frozen, mergeable view of a [`MetricsRegistry`].
+///
+/// Names are `Arc<str>` shared with the originating registry; lookups
+/// still take plain `&str` (`Arc<str>: Borrow<str>`).
 #[derive(Debug, Clone, Default)]
 pub struct MetricsSnapshot {
     /// Counter values by name.
-    pub counters: BTreeMap<String, u64>,
+    pub counters: BTreeMap<Arc<str>, u64>,
     /// Gauge values by name.
-    pub gauges: BTreeMap<String, f64>,
+    pub gauges: BTreeMap<Arc<str>, f64>,
     /// Histogram snapshots by name.
-    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    pub histograms: BTreeMap<Arc<str>, HistogramSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -337,14 +347,14 @@ impl MetricsSnapshot {
     /// gauges are point-in-time, so `other`'s value wins on collision.
     pub fn merge(&mut self, other: &MetricsSnapshot) {
         for (k, v) in &other.counters {
-            *self.counters.entry(k.clone()).or_insert(0) += v;
+            *self.counters.entry(Arc::clone(k)).or_insert(0) += v;
         }
         for (k, v) in &other.gauges {
-            self.gauges.insert(k.clone(), *v);
+            self.gauges.insert(Arc::clone(k), *v);
         }
         for (k, v) in &other.histograms {
             self.histograms
-                .entry(k.clone())
+                .entry(Arc::clone(k))
                 .and_modify(|h| h.merge(v))
                 .or_insert_with(|| v.clone());
         }

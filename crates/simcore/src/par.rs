@@ -1,0 +1,291 @@
+//! A std-only scoped-thread work-stealing pool for independent jobs.
+//!
+//! The experiment sweeps in this workspace are embarrassingly parallel —
+//! hundreds of independent `ServerSimulator::run` calls — but the build
+//! environment has no crates.io access, so this module provides the small
+//! slice of `rayon` the workspace needs on top of `std::thread::scope`:
+//!
+//! * [`map`] / [`try_map`] run one closure over a batch of items on up to
+//!   `threads` workers and return the results **in input order**, so a
+//!   parallel sweep is a drop-in replacement for a serial loop.
+//! * Work is distributed into per-worker deques; an idle worker steals
+//!   from the back of its neighbours' deques, so a few long jobs (full
+//!   50-ms figure simulations) do not strand the short ones behind them.
+//! * Panics are isolated per job: [`try_map`] reports them as values and
+//!   keeps every other job running; [`map`] completes the batch, then
+//!   resumes the panic of the **lowest-indexed** failed job, so a crashing
+//!   sweep behaves identically at any thread count.
+//!
+//! Determinism: scheduling order is nondeterministic, but each job sees
+//! only its own item and returns its slot by index, so the output vector —
+//! and anything derived from it — is bit-identical across thread counts.
+//!
+//! # Example
+//!
+//! ```
+//! let squares = simcore::par::map(4, (0u64..100).collect(), |x| x * x);
+//! assert_eq!(squares[7], 49);
+//! assert_eq!(squares.len(), 100);
+//! ```
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A job that panicked: its input index and the stringified payload.
+#[derive(Debug)]
+pub struct JobPanic {
+    /// Index of the input item whose job panicked.
+    pub index: usize,
+    /// The panic payload (message for `&str`/`String` payloads, a
+    /// placeholder otherwise), kept so [`map`] can resume it.
+    payload: Box<dyn std::any::Any + Send + 'static>,
+}
+
+impl JobPanic {
+    /// The panic message, when the payload was a string.
+    pub fn message(&self) -> &str {
+        if let Some(s) = self.payload.downcast_ref::<&'static str>() {
+            s
+        } else if let Some(s) = self.payload.downcast_ref::<String>() {
+            s
+        } else {
+            "<non-string panic payload>"
+        }
+    }
+}
+
+/// Number of hardware threads available, with a floor of one.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Resolves a requested thread count: `0` means "all available".
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        available_threads()
+    } else {
+        requested
+    }
+}
+
+struct WorkQueues {
+    /// One deque of item indices per worker; stealing pops the back.
+    queues: Vec<Mutex<VecDeque<usize>>>,
+    /// Jobs taken so far; lets workers exit without a full rescan.
+    taken: AtomicUsize,
+    total: usize,
+}
+
+impl WorkQueues {
+    fn new(workers: usize, total: usize) -> Self {
+        // Block distribution: worker w owns a contiguous chunk, so a
+        // serial-ish sweep keeps cache-friendly locality and stealing
+        // moves whole tail ranges.
+        let mut queues: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+        let per = total.div_ceil(workers.max(1));
+        for i in 0..total {
+            queues[(i / per.max(1)).min(workers - 1)].push_back(i);
+        }
+        WorkQueues {
+            queues: queues.into_iter().map(Mutex::new).collect(),
+            taken: AtomicUsize::new(0),
+            total,
+        }
+    }
+
+    /// Takes the next job for `worker`: own queue front first, then steal
+    /// from the back of the other queues, scanning round-robin.
+    fn take(&self, worker: usize) -> Option<usize> {
+        if self.taken.load(Ordering::Relaxed) >= self.total {
+            return None;
+        }
+        if let Some(i) = self.queues[worker].lock().unwrap().pop_front() {
+            self.taken.fetch_add(1, Ordering::Relaxed);
+            return Some(i);
+        }
+        let n = self.queues.len();
+        for off in 1..n {
+            let victim = (worker + off) % n;
+            if let Some(i) = self.queues[victim].lock().unwrap().pop_back() {
+                self.taken.fetch_add(1, Ordering::Relaxed);
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+/// Runs `f` over every item on up to `threads` workers (`0` = all
+/// available), returning per-job results **in input order**. A panicking
+/// job is reported as `Err(JobPanic)` in its slot; every other job still
+/// runs to completion.
+pub fn try_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<Result<R, JobPanic>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let total = items.len();
+    let workers = resolve_threads(threads).min(total.max(1));
+    let run_one = |index: usize, item: T| -> Result<R, JobPanic> {
+        catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|payload| JobPanic { index, payload })
+    };
+
+    if workers <= 1 {
+        // Serial fast path: no threads spawned, identical job semantics.
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| run_one(i, item))
+            .collect();
+    }
+
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let work = WorkQueues::new(workers, total);
+    let mut results: Vec<Option<Result<R, JobPanic>>> = Vec::new();
+    results.resize_with(total, || None);
+    let out: Vec<Mutex<&mut Option<Result<R, JobPanic>>>> =
+        results.iter_mut().map(Mutex::new).collect();
+
+    std::thread::scope(|scope| {
+        let work = &work;
+        let slots = &slots;
+        let out = &out;
+        let run_one = &run_one;
+        for w in 0..workers {
+            scope.spawn(move || {
+                while let Some(i) = work.take(w) {
+                    let item = slots[i].lock().unwrap().take().expect("job taken twice");
+                    let r = run_one(i, item);
+                    **out[i].lock().unwrap() = Some(r);
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|r| r.expect("job never ran"))
+        .collect()
+}
+
+/// Runs `f` over every item on up to `threads` workers (`0` = all
+/// available), returning results in input order.
+///
+/// # Panics
+///
+/// If any job panics, the whole batch still runs, then the panic of the
+/// **lowest-indexed** failed job is resumed on the caller — the same
+/// panic a serial loop would have surfaced first.
+pub fn map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let mut out = Vec::with_capacity(items.len());
+    let mut first_panic: Option<JobPanic> = None;
+    for r in try_map(threads, items, f) {
+        match r {
+            Ok(v) => out.push(v),
+            Err(p) if first_panic.is_none() => first_panic = Some(p),
+            Err(_) => {}
+        }
+    }
+    if let Some(p) = first_panic {
+        resume_unwind(p.payload);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_keep_input_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 0] {
+            let got = map(threads, items.clone(), |x| x * 3 + 1);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn uneven_jobs_all_complete() {
+        // A few long jobs up front force the other workers to steal.
+        let done = AtomicU64::new(0);
+        let items: Vec<usize> = (0..64).collect();
+        let got = map(4, items, |i| {
+            if i < 2 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            done.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 64);
+        assert_eq!(got, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_item_batches() {
+        let empty: Vec<u32> = map(8, Vec::new(), |x: u32| x);
+        assert!(empty.is_empty());
+        assert_eq!(map(8, vec![9u32], |x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn panics_are_isolated_per_job() {
+        let items: Vec<u32> = (0..16).collect();
+        let results = try_map(4, items, |x| {
+            if x % 5 == 3 {
+                panic!("job {x} failed");
+            }
+            x * 2
+        });
+        let mut ok = 0;
+        for (i, r) in results.iter().enumerate() {
+            match r {
+                Ok(v) => {
+                    assert_eq!(*v, i as u32 * 2);
+                    ok += 1;
+                }
+                Err(p) => {
+                    assert_eq!(p.index, i);
+                    assert!(p.message().contains("failed"), "{}", p.message());
+                }
+            }
+        }
+        assert_eq!(ok, 13); // 3, 8, 13 panic
+    }
+
+    #[test]
+    fn map_resumes_lowest_indexed_panic() {
+        for threads in [1, 4] {
+            let err = catch_unwind(AssertUnwindSafe(|| {
+                map(threads, (0u32..10).collect(), |x| {
+                    if x == 7 || x == 2 {
+                        panic!("boom {x}");
+                    }
+                    x
+                })
+            }))
+            .unwrap_err();
+            let msg = err.downcast_ref::<String>().expect("string payload");
+            assert_eq!(msg, "boom 2", "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn thread_count_resolution() {
+        assert!(available_threads() >= 1);
+        assert_eq!(resolve_threads(3), 3);
+        assert_eq!(resolve_threads(0), available_threads());
+    }
+}

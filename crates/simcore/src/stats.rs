@@ -355,6 +355,10 @@ impl SampleSet {
 
     /// Exact empirical quantile (nearest-rank); `None` when empty.
     ///
+    /// A stray NaN sample must not abort a multi-hour sweep, so ordering
+    /// uses [`f64::total_cmp`] (NaNs sort after every number and surface
+    /// in the top quantiles instead of panicking).
+    ///
     /// # Panics
     ///
     /// Panics if `q` is outside `[0, 1]`.
@@ -364,8 +368,7 @@ impl SampleSet {
             return None;
         }
         if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.samples.sort_by(f64::total_cmp);
             self.sorted = true;
         }
         let rank = ((q * self.samples.len() as f64).ceil() as usize).max(1) - 1;
@@ -476,5 +479,18 @@ mod tests {
         assert_eq!(s.quantile(0.5), Some(5.0));
         s.record(1.0);
         assert_eq!(s.quantile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn sampleset_tolerates_nan_samples() {
+        // A stray NaN must not panic the sort; it sorts last (total order)
+        // and the finite quantiles stay exact.
+        let mut s = SampleSet::new();
+        for x in [3.0, f64::NAN, 1.0, 2.0] {
+            s.record(x);
+        }
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        assert_eq!(s.quantile(0.5), Some(2.0));
+        assert!(s.quantile(1.0).unwrap().is_nan());
     }
 }

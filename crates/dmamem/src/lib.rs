@@ -41,6 +41,10 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+// Engine code must not panic on recoverable conditions; test code may
+// unwrap freely (CI runs clippy with -D warnings, so this stays a
+// lib-only gate).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod calibrate;
 mod config;

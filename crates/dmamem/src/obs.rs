@@ -31,6 +31,48 @@ use simcore::{SimDuration, SimTime};
 
 use crate::timeline::{ChipActivity, TimelineRecorder};
 
+/// Every metric key the engine registers, in registration order. This is
+/// the source of truth for the `obs-key` simlint rule: any `dmamem.*`
+/// string literal anywhere in the workspace must appear here, so a
+/// typo'd key can never silently drop a stream from the slack audit
+/// replay. The `metric_keys_match_registration` test pins this list to
+/// what [`ObsMetrics::new`] actually registers.
+pub const METRIC_KEYS: &[&str] = &[
+    "dmamem.wakes",
+    "dmamem.sleeps",
+    "dmamem.ta.gathered",
+    "dmamem.ta.release.rule",
+    "dmamem.ta.release.max_delay",
+    "dmamem.ta.release.proc_wake",
+    "dmamem.slack.credits",
+    "dmamem.slack.balance_ps",
+    "dmamem.slack.debit_epoch_ps",
+    "dmamem.slack.debit_wake_ps",
+    "dmamem.slack.debit_proc_ps",
+    "dmamem.slack.debit_queue_ps",
+    "dmamem.slack.debit_residual_ps",
+    "dmamem.pl.page_moves",
+    "dmamem.epoch_ticks",
+    "dmamem.request_service_ns",
+];
+
+/// Every event `kind` tag a [`SimEvent`] can serialize as; the simlint
+/// `obs-key` rule checks `"kind":"…"` literals (e.g. in JSONL
+/// assertions) against this table. Pinned to [`ObsEvent::kind`] by the
+/// `event_kinds_match_variants` test.
+pub const EVENT_KINDS: &[&str] = &[
+    "mode_transition",
+    "chip_activity",
+    "ta_gather",
+    "ta_release",
+    "slack_credit",
+    "slack_debit",
+    "slack_close",
+    "page_move",
+    "pl_plan",
+    "epoch_tick",
+];
+
 /// Why a slack debit was charged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DebitCause {
@@ -55,6 +97,19 @@ impl DebitCause {
             DebitCause::Proc => "proc",
             DebitCause::Queue => "queue",
             DebitCause::Residual => "residual",
+        }
+    }
+
+    /// The debit-size histogram key for this cause. Static (not built
+    /// with `format!`) so every registered key is a literal the
+    /// `obs-key` lint can check against [`METRIC_KEYS`].
+    pub fn metric_key(self) -> &'static str {
+        match self {
+            DebitCause::Epoch => "dmamem.slack.debit_epoch_ps",
+            DebitCause::Wake => "dmamem.slack.debit_wake_ps",
+            DebitCause::Proc => "dmamem.slack.debit_proc_ps",
+            DebitCause::Queue => "dmamem.slack.debit_queue_ps",
+            DebitCause::Residual => "dmamem.slack.debit_residual_ps",
         }
     }
 }
@@ -366,8 +421,7 @@ pub struct ObsMetrics {
 impl ObsMetrics {
     /// Registers (or reattaches to) the `dmamem.*` metrics in `registry`.
     pub fn new(registry: &MetricsRegistry) -> Self {
-        let debit =
-            |c: DebitCause| registry.histogram(&format!("dmamem.slack.debit_{}_ps", c.as_str()));
+        let debit = |c: DebitCause| registry.histogram(c.metric_key());
         ObsMetrics {
             registry: registry.clone(),
             wakes: registry.counter("dmamem.wakes"),
@@ -890,6 +944,119 @@ mod tests {
         assert!(r.closed);
         assert!(r.guarantee_met(SimDuration::from_ns(8))); // limit 10 ns
         assert!(!r.guarantee_met(SimDuration::from_ns(7))); // limit 8.75 ns
+    }
+
+    #[test]
+    fn metric_keys_match_registration() {
+        let reg = MetricsRegistry::new();
+        let _metrics = ObsMetrics::new(&reg);
+        let snap = reg.snapshot();
+        let mut registered: Vec<String> = snap
+            .counters
+            .keys()
+            .chain(snap.gauges.keys())
+            .chain(snap.histograms.keys())
+            .map(|k| k.to_string())
+            .collect();
+        registered.sort();
+        let mut expected: Vec<String> = METRIC_KEYS.iter().map(|k| k.to_string()).collect();
+        expected.sort();
+        assert_eq!(
+            registered, expected,
+            "METRIC_KEYS must list exactly what ObsMetrics::new registers"
+        );
+    }
+
+    #[test]
+    fn event_kinds_match_variants() {
+        let probe = SimTime::ZERO;
+        let dur = SimDuration::from_ns(1);
+        // One value of every variant; adding a variant without extending
+        // EVENT_KINDS fails here (and new kinds escape the audit replay).
+        let events = [
+            SimEvent::ModeTransition {
+                at: probe,
+                chip: 0,
+                from: PowerMode::Active,
+                to: PowerMode::Nap,
+                latency: dur,
+            },
+            SimEvent::Activity {
+                at: probe,
+                chip: 0,
+                activity: ChipActivity::Serving,
+            },
+            SimEvent::TaGather {
+                at: probe,
+                chip: 0,
+                pending: 1,
+            },
+            SimEvent::TaRelease {
+                at: probe,
+                chip: 0,
+                released: 1,
+                cause: ReleaseCause::Rule,
+            },
+            SimEvent::SlackCredit {
+                at: probe,
+                requests: 1,
+                amount_ps: 0.0,
+                balance_ps: 0.0,
+            },
+            SimEvent::SlackDebit {
+                at: probe,
+                cause: DebitCause::Epoch,
+                amount_ps: 0.0,
+                balance_ps: 0.0,
+            },
+            SimEvent::SlackClose {
+                at: probe,
+                credited: 0,
+                balance_ps: 0.0,
+                min_ps: 0.0,
+                served: 0,
+                service_sum_ps: 0,
+                mu: 0.0,
+                t_req_ps: 0,
+            },
+            SimEvent::PageMove {
+                at: probe,
+                page: 0,
+                from: 0,
+                to: 1,
+            },
+            SimEvent::PlPlan {
+                at: probe,
+                hot_pages: 0,
+                hot_chips: 0,
+                moves: 0,
+            },
+            SimEvent::EpochTick {
+                at: probe,
+                pending: 0,
+            },
+        ];
+        assert_eq!(events.len(), EVENT_KINDS.len());
+        for ev in &events {
+            assert!(
+                EVENT_KINDS.contains(&ev.kind()),
+                "kind `{}` missing from EVENT_KINDS",
+                ev.kind()
+            );
+        }
+    }
+
+    #[test]
+    fn debit_metric_keys_are_registered() {
+        for cause in [
+            DebitCause::Epoch,
+            DebitCause::Wake,
+            DebitCause::Proc,
+            DebitCause::Queue,
+            DebitCause::Residual,
+        ] {
+            assert!(METRIC_KEYS.contains(&cause.metric_key()));
+        }
     }
 
     #[test]

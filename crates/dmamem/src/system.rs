@@ -622,6 +622,7 @@ impl<'a> Engine<'a> {
         }
         let chip = self.tracks[(req.transfer - 1) as usize]
             .as_ref()
+            // simlint::allow(panic-path, "track slots are created at TransferStart and live until the last completion; a missing track means the event queue itself is corrupt")
             .expect("request for unknown transfer")
             .chip;
         let sleeping = matches!(
@@ -669,6 +670,7 @@ impl<'a> Engine<'a> {
         let Some(oldest) = c.pending.first() else {
             return;
         };
+        // simlint::allow(panic-path, "release checks are only scheduled when the TA scheme is configured; scheme.ta is Some for the whole run")
         let max_delay = self.scheme.ta.expect("TA on").max_delay;
         if self.now.saturating_since(oldest.arrival) >= max_delay {
             self.release_chip(chip, ReleaseCause::MaxDelay);
@@ -870,6 +872,7 @@ impl<'a> Engine<'a> {
                 if req.is_last {
                     let track = self.tracks[(req.transfer - 1) as usize]
                         .take()
+                        // simlint::allow(panic-path, "is_last fires exactly once per transfer, so the track created at TransferStart is still present")
                         .expect("completion for unknown transfer");
                     self.chips[chip].chip.dma_transfer_ended(self.now);
                     self.active_transfers -= 1;
@@ -939,6 +942,7 @@ impl<'a> Engine<'a> {
             } else {
                 // Arm the next deeper step (thresholds measured from the
                 // start of the idle period).
+                // simlint::allow(panic-path, "TransitionDone leaves the chip settled in a steady mode; mode() is None only mid-transition")
                 let mode = c.chip.mode().expect("steady after transition");
                 let idle_start = c.idle_start;
                 if let Some((target, when)) = c.policy.next_step(mode, idle_start) {
@@ -990,6 +994,7 @@ impl<'a> Engine<'a> {
         let rm = self.config.power_model.bandwidth_bytes_per_sec();
         let min_hot = ((pl.p * bus_bw / rm).ceil() as usize).max(1);
         let (moves, stats) = {
+            // simlint::allow(panic-path, "PL epochs are only scheduled when the PL scheme is configured, and the tracker is built alongside it")
             let tracker = self.tracker.as_ref().expect("PL tracker");
             plan_and_apply_observed(tracker, &mut self.page_map, &pl, fpc, min_hot)
         };

@@ -302,6 +302,7 @@ impl Chip {
         self.sync(now);
         let current = match self.phase {
             ChipPhase::Steady(m) => m,
+            // simlint::allow(panic-path, "documented API contract: begin_sleep panics on a mid-transition chip; MemSystem gates on phase() before calling")
             _ => panic!("chip {} cannot sleep mid-transition at {now}", self.id),
         };
         assert!(
@@ -332,6 +333,7 @@ impl Chip {
         self.sync(now);
         let from = match self.phase {
             ChipPhase::Steady(m) if m.is_low_power() => m,
+            // simlint::allow(panic-path, "documented API contract: begin_wake requires a settled low-power chip; callers gate on phase()")
             _ => panic!(
                 "chip {} cannot wake at {now}: phase {:?}",
                 self.id, self.phase
@@ -363,6 +365,7 @@ impl Chip {
                 self.phase = ChipPhase::Steady(PowerMode::Active);
                 self.last_activity = now;
             }
+            // simlint::allow(panic-path, "documented API contract: complete_transition pairs 1:1 with a begin_* call; a steady chip here is a scheduler bug")
             ChipPhase::Steady(_) => panic!("chip {} has no transition to complete", self.id),
         }
     }

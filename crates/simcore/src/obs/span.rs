@@ -43,6 +43,7 @@ impl SpanTimer {
     pub fn start(&self) -> SpanGuard<'_> {
         SpanGuard {
             timer: self,
+            // simlint::allow(wall-clock, "host-side profiling span: measures real elapsed time of the harness itself and only feeds span.* histograms, never sim state")
             started: Instant::now(),
         }
     }

@@ -1,0 +1,81 @@
+//! The registered observability key table, parsed out of
+//! `crates/dmamem/src/obs.rs` so the `obs-key` rule checks against the
+//! same source of truth the engine registers from (the `METRIC_KEYS`
+//! and `EVENT_KINDS` consts; dmamem's own unit tests pin those consts
+//! to the actual registrations).
+
+use std::collections::BTreeSet;
+
+/// Registered metric keys and event kinds.
+#[derive(Debug, Clone, Default)]
+pub struct KeyTable {
+    /// Every `dmamem.*` metric key the engine registers.
+    pub metric_keys: BTreeSet<String>,
+    /// Every event `kind` tag the engine emits.
+    pub event_kinds: BTreeSet<String>,
+}
+
+impl KeyTable {
+    /// Parses the key table from the source text of `dmamem/src/obs.rs`:
+    /// all string literals between a named const's `&[` and the closing
+    /// `];`.
+    pub fn from_obs_source(source: &str) -> Result<KeyTable, String> {
+        Ok(KeyTable {
+            metric_keys: const_literals(source, "METRIC_KEYS")?,
+            event_kinds: const_literals(source, "EVENT_KINDS")?,
+        })
+    }
+}
+
+fn const_literals(source: &str, name: &str) -> Result<BTreeSet<String>, String> {
+    // Anchor on the declaration, not doc-comment mentions of the name.
+    let decl = format!("const {name}");
+    let start = source
+        .find(&decl)
+        .ok_or_else(|| format!("`{decl}` not found in dmamem obs source"))?;
+    let tail = &source[start..];
+    let end = tail
+        .find("];")
+        .ok_or_else(|| format!("const `{name}` has no closing `];`"))?;
+    let body = &tail[..end];
+    let mut keys = BTreeSet::new();
+    let mut rest = body;
+    while let Some(open) = rest.find('"') {
+        let after = &rest[open + 1..];
+        let Some(close) = after.find('"') else { break };
+        keys.insert(after[..close].to_string());
+        rest = &after[close + 1..];
+    }
+    if keys.is_empty() {
+        return Err(format!("const `{name}` contains no string literals"));
+    }
+    Ok(keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+pub const METRIC_KEYS: &[&str] = &[
+    "dmamem.wakes",
+    "dmamem.sleeps",
+];
+pub const EVENT_KINDS: &[&str] = &["mode_transition", "epoch_tick"];
+"#;
+
+    #[test]
+    fn parses_both_consts() {
+        let t = KeyTable::from_obs_source(SAMPLE).unwrap();
+        assert!(t.metric_keys.contains("dmamem.wakes"));
+        assert!(t.metric_keys.contains("dmamem.sleeps"));
+        assert_eq!(t.metric_keys.len(), 2);
+        assert!(t.event_kinds.contains("epoch_tick"));
+        assert_eq!(t.event_kinds.len(), 2);
+    }
+
+    #[test]
+    fn missing_const_is_an_error() {
+        assert!(KeyTable::from_obs_source("nothing here").is_err());
+    }
+}

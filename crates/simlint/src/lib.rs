@@ -1,0 +1,130 @@
+//! `simlint` — workspace determinism & invariant static analysis.
+//!
+//! The simulator's headline results are only credible if every run is
+//! bit-reproducible. PR 2 enforces that *dynamically* (proptests over
+//! seeds × thread counts); this crate enforces it *statically*, on
+//! every line, at CI time. It is a std-only, hand-rolled scanner (no
+//! `syn` — the build environment is offline), run two ways:
+//!
+//! * `cargo run -p simlint` — scans the workspace, prints findings,
+//!   exits nonzero on any `deny` finding (`--json FILE` for a
+//!   machine-readable report);
+//! * as a `#[test]` — `crates/simlint/tests/self_scan.rs` asserts the
+//!   workspace is clean, so `cargo test` alone catches regressions.
+//!
+//! Six rules, each grounded in a real hazard class of this codebase
+//! (see [`rules::RULES`]): `nondet-iter`, `wall-clock`,
+//! `ambient-random`, `float-cmp`, `panic-path`, `obs-key`. Suppression
+//! is per line via a `simlint::allow` comment naming the rule and a
+//! quoted reason — the written justification is mandatory and its
+//! absence is itself a finding.
+
+pub mod keytable;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use keytable::KeyTable;
+pub use report::Report;
+pub use rules::{Finding, Severity};
+
+/// Lints one file's source as if it lived at workspace-relative
+/// `rel_path` (path determines rule scopes). Exposed for fixture tests.
+pub fn lint_source(rel_path: &str, source: &str, keys: &KeyTable) -> Vec<Finding> {
+    rules::lint_lines(rel_path, &scan::scan(source), keys)
+}
+
+/// Relative path of the obs-key source of truth.
+pub const OBS_SOURCE: &str = "crates/dmamem/src/obs.rs";
+
+/// Lints every `.rs` file under `root` (the workspace directory),
+/// excluding `target/`, VCS internals, and simlint's own seeded-violation
+/// fixtures.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let obs_path = root.join(OBS_SOURCE);
+    let obs_source = fs::read_to_string(&obs_path)?;
+    let keys = KeyTable::from_obs_source(&obs_source)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort(); // deterministic scan order — simlint practices what it preaches
+
+    let mut report = Report::default();
+    for rel in files {
+        let source = fs::read_to_string(root.join(&rel))?;
+        let rel_str = rel
+            .to_str()
+            .map(|s| s.replace('\\', "/"))
+            .unwrap_or_default();
+        report
+            .findings
+            .extend(lint_source(&rel_str, &source, &keys));
+        report.files_scanned += 1;
+    }
+    report
+        .findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    Ok(report)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // `fixtures` holds deliberately-violating lint inputs; they
+            // are linted explicitly by simlint's own tests instead.
+            if matches!(name.as_ref(), "target" | ".git" | ".github" | "fixtures") {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Walks upward from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_source_ties_scanner_to_rules() {
+        let mut keys = KeyTable::default();
+        keys.metric_keys.insert("dmamem.wakes".into());
+        let src = "fn f() { let t = std::time::Instant::now(); } // not in a string\n";
+        let fs = lint_source("crates/simcore/src/time.rs", src, &keys);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].rule, "wall-clock");
+        // The same pattern inside a string literal is NOT code.
+        let masked = "fn f() { let s = \"Instant::now\"; }\n";
+        assert!(lint_source("crates/simcore/src/time.rs", masked, &keys).is_empty());
+    }
+}

@@ -1,0 +1,109 @@
+//! CLI entry point: `cargo run -p simlint [-- --json FILE] [--root DIR]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use simlint::rules::RULES;
+use simlint::{find_workspace_root, lint_workspace, Severity};
+
+const USAGE: &str = "\
+simlint — workspace determinism & invariant static analysis
+
+USAGE:
+    cargo run -p simlint [-- OPTIONS]
+
+OPTIONS:
+    --root DIR        workspace to scan (default: nearest [workspace] above cwd)
+    --json FILE       also write a machine-readable JSON report to FILE
+    --show-warnings   print warn-severity findings individually (always in JSON)
+    --list-rules      print the rule table and exit
+    -h, --help        this help
+
+Exit status: 0 when no deny-severity findings, 1 otherwise.
+Suppress a finding with: // simlint::allow(<rule>, \"written justification\")";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json_out: Option<PathBuf> = None;
+    let mut show_warnings = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--json" => json_out = args.next().map(PathBuf::from),
+            "--show-warnings" => show_warnings = true,
+            "--list-rules" => {
+                for (name, what) in RULES {
+                    println!("{name:15} {what}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("simlint: unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("simlint: no [workspace] Cargo.toml found above the current directory");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simlint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &json_out {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("simlint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    for f in &report.findings {
+        if f.severity == Severity::Deny || show_warnings {
+            println!(
+                "{}:{}: [{}] {}: {}\n    {}",
+                f.path,
+                f.line,
+                f.severity.as_str(),
+                f.rule,
+                f.message,
+                f.snippet
+            );
+        }
+    }
+    println!(
+        "simlint: {} files scanned, {} deny, {} warn{}",
+        report.files_scanned,
+        report.deny_count(),
+        report.warn_count(),
+        if report.warn_count() > 0 && !show_warnings {
+            " (rerun with --show-warnings to list)"
+        } else {
+            ""
+        }
+    );
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,109 @@
+//! Machine-readable (JSON) and human rendering of lint findings.
+
+use crate::rules::{Finding, Severity};
+
+/// The result of linting a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Surviving findings, ordered by path then line.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings that fail the run.
+    pub fn deny_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Deny)
+            .count()
+    }
+
+    /// Advisory findings.
+    pub fn warn_count(&self) -> usize {
+        self.findings.len() - self.deny_count()
+    }
+
+    /// True when the tree passes (no deny findings).
+    pub fn is_clean(&self) -> bool {
+        self.deny_count() == 0
+    }
+
+    /// Renders the report as a single JSON object:
+    /// `{"files_scanned":N,"deny":N,"warn":N,"findings":[…]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.findings.len() * 160);
+        out.push_str(&format!(
+            "{{\"files_scanned\":{},\"deny\":{},\"warn\":{},\"findings\":[",
+            self.files_scanned,
+            self.deny_count(),
+            self.warn_count()
+        ));
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":{},\"severity\":\"{}\",\"path\":{},\"line\":{},\"message\":{},\"snippet\":{}}}",
+                json_str(f.rule),
+                f.severity.as_str(),
+                json_str(&f.path),
+                f.line,
+                json_str(&f.message),
+                json_str(&f.snippet)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (std-only, mirrors simcore::obs::json).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let report = Report {
+            findings: vec![Finding {
+                rule: "wall-clock",
+                severity: Severity::Deny,
+                path: "crates/x/src/lib.rs".into(),
+                line: 3,
+                message: "bad".into(),
+                snippet: "Instant::now()".into(),
+            }],
+            files_scanned: 1,
+        };
+        let j = report.to_json();
+        assert!(j.starts_with("{\"files_scanned\":1,\"deny\":1,\"warn\":0,"));
+        assert!(j.contains("\"rule\":\"wall-clock\""));
+        assert!(j.contains("\"line\":3"));
+        assert!(!report.is_clean());
+    }
+}

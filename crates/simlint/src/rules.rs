@@ -1,0 +1,682 @@
+//! The six determinism & invariant rules, allow-directive parsing, and
+//! suppression application.
+//!
+//! Rules are pattern passes over [`scan::Line`] records (comments and
+//! string contents already masked out of `code`), scoped by workspace
+//! path. Every rule can be suppressed per line with a `simlint::allow`
+//! comment naming the rule plus a quoted reason — the reason string is
+//! mandatory; a reasonless allow is itself a `deny` finding.
+
+use crate::keytable::KeyTable;
+use crate::scan::Line;
+
+/// Finding severity: `Deny` findings fail the run, `Warn` findings are
+/// reported (and serialized) but do not affect the exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory: reported, never fails the run.
+    Warn,
+    /// Enforced: any deny finding makes `simlint` exit nonzero.
+    Deny,
+}
+
+impl Severity {
+    /// Stable lowercase tag used in output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule identifier (e.g. `nondet-iter`).
+    pub rule: &'static str,
+    /// Whether the finding fails the run.
+    pub severity: Severity,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What is wrong and what to do about it.
+    pub message: String,
+    /// The offending line's code, trimmed.
+    pub snippet: String,
+}
+
+/// Rule registry: `(name, what it catches)`.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "nondet-iter",
+        "HashMap/HashSet in simulation crates: iteration order depends on the hash seed",
+    ),
+    (
+        "wall-clock",
+        "Instant::now/SystemTime outside criterion/bench: wall time must never reach sim state",
+    ),
+    (
+        "ambient-random",
+        "RNG construction not routed through simcore::rng seeded types",
+    ),
+    (
+        "float-cmp",
+        "sort via partial_cmp (use total_cmp) or direct == on floats in accounting code",
+    ),
+    (
+        "panic-path",
+        "unwrap/expect/panic!/indexing in engine hot paths (system, controllers, chip)",
+    ),
+    (
+        "obs-key",
+        "metric/event key literal not in the dmamem::obs registered key table",
+    ),
+    (
+        "allow-syntax",
+        "malformed simlint::allow directive (missing or empty justification, unknown rule)",
+    ),
+    (
+        "unused-allow",
+        "simlint::allow directive that suppressed nothing",
+    ),
+];
+
+const LINT_RULE_NAMES: &[&str] = &[
+    "nondet-iter",
+    "wall-clock",
+    "ambient-random",
+    "float-cmp",
+    "panic-path",
+    "obs-key",
+];
+
+fn canonical_rule(name: &str) -> Option<&'static str> {
+    LINT_RULE_NAMES.iter().find(|r| **r == name).copied()
+}
+
+// ---------------------------------------------------------------------------
+// Path scopes
+// ---------------------------------------------------------------------------
+
+/// Simulation-crate sources: everything that feeds simulated state.
+/// `simcore`'s `par` (host thread pool) and `obs` (host-side export)
+/// modules are excluded — they are deliberately allowed to touch
+/// host-order constructs because nothing in them feeds back into sim
+/// results.
+pub fn is_sim_path(p: &str) -> bool {
+    const SIM: &[&str] = &[
+        "crates/dmamem/src/",
+        "crates/mempower/src/",
+        "crates/iobus/src/",
+        "crates/disksim/src/",
+        "crates/trace/src/",
+    ];
+    if SIM.iter().any(|pre| p.starts_with(pre)) {
+        return true;
+    }
+    p.starts_with("crates/simcore/src/")
+        && p != "crates/simcore/src/par.rs"
+        && p != "crates/simcore/src/obs.rs"
+        && !p.starts_with("crates/simcore/src/obs/")
+}
+
+/// Wall-clock reads are legitimate only in the bench harness and the
+/// criterion shim.
+pub fn is_wall_clock_scope(p: &str) -> bool {
+    !p.starts_with("crates/criterion/") && !p.starts_with("crates/bench/")
+}
+
+/// Engine hot paths where a panic aborts a whole sweep batch.
+pub fn is_panic_scope(p: &str) -> bool {
+    p == "crates/dmamem/src/system.rs"
+        || p.starts_with("crates/dmamem/src/controller/")
+        || p == "crates/mempower/src/chip.rs"
+}
+
+/// Accounting code (slack ledger, energy/metric accounting) where exact
+/// float equality is almost always a latent bug.
+pub fn is_float_eq_scope(p: &str) -> bool {
+    p.starts_with("crates/dmamem/src/") || p.starts_with("crates/mempower/src/")
+}
+
+/// Test-only paths: integration tests, benches, examples, fixtures.
+/// Only `obs-key` applies there.
+pub fn is_test_path(p: &str) -> bool {
+    p.split('/')
+        .any(|c| matches!(c, "tests" | "benches" | "examples" | "fixtures"))
+}
+
+// ---------------------------------------------------------------------------
+// Allow directives
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Allow {
+    rule: String,
+    line: usize, // 1-based
+    used: bool,
+    malformed: Option<&'static str>,
+}
+
+fn parse_allows(lines: &[Line]) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let mut rest = line.comment.as_str();
+        while let Some(at) = rest.find("simlint::allow(") {
+            rest = &rest[at + "simlint::allow(".len()..];
+            let rule: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '_')
+                .collect();
+            let after_rule = rest[rule.len()..].trim_start();
+            let malformed = if canonical_rule(&rule).is_none() {
+                Some("unknown rule name")
+            } else if let Some(tail) = after_rule.strip_prefix(',') {
+                let tail = tail.trim_start();
+                match tail
+                    .strip_prefix('"')
+                    .and_then(|t| t.find('"').map(|e| &t[..e]))
+                {
+                    Some(reason) if reason.trim().is_empty() => {
+                        Some("justification string is empty")
+                    }
+                    Some(_) => None,
+                    None => Some("justification must be a quoted string"),
+                }
+            } else {
+                Some("missing justification: write simlint::allow(rule, \"why\")")
+            };
+            allows.push(Allow {
+                rule,
+                line: idx + 1,
+                used: false,
+                malformed,
+            });
+        }
+    }
+    allows
+}
+
+// ---------------------------------------------------------------------------
+// Pattern helpers
+// ---------------------------------------------------------------------------
+
+/// True when `code` compares a float literal with `==` or `!=`.
+fn has_float_literal_eq(code: &str) -> bool {
+    let b = code.as_bytes();
+    for i in 0..b.len().saturating_sub(1) {
+        let is_eq = b[i] == b'=' && b[i + 1] == b'=' && (i == 0 || !is_op_byte(b[i - 1]));
+        let is_ne = b[i] == b'!' && b[i + 1] == b'=';
+        if !(is_eq || is_ne) {
+            continue;
+        }
+        if float_literal_after(b, i + 2) || float_literal_before(b, i) {
+            return true;
+        }
+    }
+    false
+}
+
+fn is_op_byte(c: u8) -> bool {
+    matches!(
+        c,
+        b'=' | b'<' | b'>' | b'!' | b'+' | b'-' | b'*' | b'/' | b'%' | b'&' | b'|' | b'^'
+    )
+}
+
+fn float_literal_after(b: &[u8], mut i: usize) -> bool {
+    while i < b.len() && b[i] == b' ' {
+        i += 1;
+    }
+    let start = i;
+    while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+        i += 1;
+    }
+    i > start && i < b.len() && b[i] == b'.' && i + 1 < b.len() && b[i + 1].is_ascii_digit()
+}
+
+fn float_literal_before(b: &[u8], eq_at: usize) -> bool {
+    let mut i = eq_at;
+    while i > 0 && b[i - 1] == b' ' {
+        i -= 1;
+    }
+    let end = i;
+    while i > 0 && (b[i - 1].is_ascii_digit() || b[i - 1] == b'.' || b[i - 1] == b'_') {
+        i -= 1;
+    }
+    let token = &b[i..end];
+    !token.is_empty()
+        && token[0].is_ascii_digit()
+        && token.contains(&b'.')
+        && (i == 0 || !(b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_' || b[i - 1] == b'.'))
+}
+
+/// True when `code` has a slice/array index expression (`expr[...]`).
+fn has_index_expr(code: &str) -> bool {
+    let b = code.as_bytes();
+    for i in 0..b.len() {
+        if b[i] != b'[' {
+            continue;
+        }
+        let mut j = i;
+        while j > 0 && b[j - 1] == b' ' {
+            j -= 1;
+        }
+        if j == 0 {
+            continue;
+        }
+        let p = b[j - 1];
+        if p.is_ascii_alphanumeric() || p == b'_' || p == b')' || p == b']' {
+            return true;
+        }
+    }
+    false
+}
+
+/// `dmamem.*` tokens inside a string literal that are not registered
+/// metric keys, plus `"kind":"…"` tags not in the event-kind table.
+fn bad_obs_keys(lit: &str, keys: &KeyTable) -> Vec<String> {
+    let norm = lit.replace("\\\"", "\"");
+    let mut bad = Vec::new();
+    let mut rest = norm.as_str();
+    while let Some(at) = rest.find("dmamem.") {
+        let token: String = rest[at..]
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '.' || *c == '_')
+            .collect();
+        rest = &rest[at + token.len().max(7)..];
+        let token = token.trim_end_matches('.');
+        if token != "dmamem" && !keys.metric_keys.contains(token) {
+            bad.push(token.to_string());
+        }
+    }
+    let mut rest = norm.as_str();
+    while let Some(at) = rest.find("\"kind\":\"") {
+        let tail = &rest[at + "\"kind\":\"".len()..];
+        let kind: String = tail.chars().take_while(|c| *c != '"').collect();
+        if !kind.is_empty() && !keys.event_kinds.contains(&kind) {
+            bad.push(format!("kind:{kind}"));
+        }
+        rest = tail;
+    }
+    bad
+}
+
+// ---------------------------------------------------------------------------
+// The lint pass
+// ---------------------------------------------------------------------------
+
+/// Runs every rule over scanned `lines` of the file at workspace-relative
+/// `rel_path`, applies `simlint::allow` suppressions, and returns the
+/// surviving findings sorted by line.
+pub fn lint_lines(rel_path: &str, lines: &[Line], keys: &KeyTable) -> Vec<Finding> {
+    let test_file = is_test_path(rel_path);
+    let sim = is_sim_path(rel_path);
+    let wall = is_wall_clock_scope(rel_path);
+    let hot = is_panic_scope(rel_path);
+    let float_eq = is_float_eq_scope(rel_path);
+
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut push = |rule: &'static str, severity: Severity, n: usize, msg: String, code: &str| {
+        raw.push(Finding {
+            rule,
+            severity,
+            path: rel_path.to_string(),
+            line: n,
+            message: msg,
+            snippet: code.trim().chars().take(120).collect(),
+        });
+    };
+
+    for (idx, line) in lines.iter().enumerate() {
+        let n = idx + 1;
+        let code = line.code.as_str();
+        let in_test = test_file || line.in_test;
+
+        if !in_test {
+            if sim
+                && (code.contains("HashMap") || code.contains("HashSet"))
+                && !code.trim_start().starts_with("use ")
+                && !code.trim_start().starts_with("pub use ")
+            {
+                push(
+                    "nondet-iter",
+                    Severity::Deny,
+                    n,
+                    "HashMap/HashSet in simulation code: iteration order is nondeterministic \
+                     across runs; use BTreeMap/BTreeSet or sort before iterating"
+                        .into(),
+                    code,
+                );
+            }
+            if wall && (code.contains("Instant::now") || code.contains("SystemTime")) {
+                push(
+                    "wall-clock",
+                    Severity::Deny,
+                    n,
+                    "wall-clock read outside criterion/bench: host time must never reach \
+                     simulation state"
+                        .into(),
+                    code,
+                );
+            }
+            if sim {
+                const RNG_PATTERNS: &[&str] = &[
+                    "thread_rng",
+                    "from_entropy",
+                    "OsRng",
+                    "getrandom",
+                    "StdRng",
+                    "SmallRng",
+                    "fastrand",
+                    "rand::",
+                    "RandomState",
+                ];
+                if let Some(pat) = RNG_PATTERNS.iter().find(|p| code.contains(**p)) {
+                    push(
+                        "ambient-random",
+                        Severity::Deny,
+                        n,
+                        format!(
+                            "ambient RNG `{pat}`: all randomness must flow through \
+                             simcore::rng seeded types"
+                        ),
+                        code,
+                    );
+                }
+            }
+            if sim && code.contains("partial_cmp") {
+                let window = idx.saturating_sub(3)..=idx;
+                let sorting = window.clone().any(|w| {
+                    let c = lines[w].code.as_str();
+                    [
+                        "sort_by",
+                        "sort_unstable_by",
+                        "max_by",
+                        "min_by",
+                        "binary_search_by",
+                    ]
+                    .iter()
+                    .any(|t| c.contains(t))
+                });
+                if sorting {
+                    push(
+                        "float-cmp",
+                        Severity::Deny,
+                        n,
+                        "float ordering via partial_cmp: NaN breaks the comparator and the \
+                         sort order; use f64::total_cmp"
+                            .into(),
+                        code,
+                    );
+                }
+            }
+            if float_eq && has_float_literal_eq(code) {
+                push(
+                    "float-cmp",
+                    Severity::Deny,
+                    n,
+                    "direct equality against a float literal in accounting code; compare \
+                     with an explicit tolerance (or allow an exact-sentinel guard with a reason)"
+                        .into(),
+                    code,
+                );
+            }
+            if hot {
+                const PANICKY: &[&str] = &[
+                    ".unwrap()",
+                    ".expect(",
+                    "panic!(",
+                    "unreachable!(",
+                    "todo!(",
+                    "unimplemented!(",
+                ];
+                if let Some(pat) = PANICKY.iter().find(|p| code.contains(**p)) {
+                    push(
+                        "panic-path",
+                        Severity::Deny,
+                        n,
+                        format!(
+                            "`{}` in an engine hot path: a panic here aborts a whole sweep \
+                             batch; return a typed error or allow with the invariant that \
+                             makes it unreachable",
+                            pat.trim_matches(['.', '('])
+                        ),
+                        code,
+                    );
+                }
+                if has_index_expr(code) {
+                    push(
+                        "panic-path",
+                        Severity::Warn,
+                        n,
+                        "slice/array indexing in an engine hot path can panic; prefer get() \
+                         where the index is not invariant-checked"
+                            .into(),
+                        code,
+                    );
+                }
+            }
+        }
+
+        // obs-key applies everywhere, tests included: a typo'd key in a
+        // test assertion silently weakens the slack audit replay.
+        for lit in &line.literals {
+            for bad in bad_obs_keys(lit, keys) {
+                push(
+                    "obs-key",
+                    Severity::Deny,
+                    n,
+                    format!(
+                        "`{bad}` is not in the dmamem::obs registered key table \
+                         (METRIC_KEYS/EVENT_KINDS); typo'd keys silently drop streams \
+                         from the audit replay"
+                    ),
+                    code,
+                );
+            }
+        }
+    }
+
+    // Apply suppressions: an allow matches findings of its rule on the
+    // same line or the line directly below it.
+    let mut allows = parse_allows(lines);
+    raw.retain(|f| {
+        for a in allows.iter_mut() {
+            if a.malformed.is_none()
+                && a.rule == f.rule
+                && (a.line == f.line || a.line + 1 == f.line)
+            {
+                a.used = true;
+                return false;
+            }
+        }
+        true
+    });
+
+    let mut findings = raw;
+    for a in &allows {
+        if let Some(why) = a.malformed {
+            findings.push(Finding {
+                rule: "allow-syntax",
+                severity: Severity::Deny,
+                path: rel_path.to_string(),
+                line: a.line,
+                message: format!(
+                    "malformed simlint::allow({}, …): {why}; every suppression must carry \
+                     a written justification",
+                    a.rule
+                ),
+                snippet: lines[a.line - 1].comment.trim().chars().take(120).collect(),
+            });
+        } else if !a.used {
+            findings.push(Finding {
+                rule: "unused-allow",
+                severity: Severity::Warn,
+                path: rel_path.to_string(),
+                line: a.line,
+                message: format!(
+                    "simlint::allow({}) suppressed nothing on this or the next line; \
+                     delete it or move it to the offending line",
+                    a.rule
+                ),
+                snippet: lines[a.line - 1].comment.trim().chars().take(120).collect(),
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    fn table() -> KeyTable {
+        let mut t = KeyTable::default();
+        t.metric_keys.insert("dmamem.wakes".into());
+        t.event_kinds.insert("epoch_tick".into());
+        t
+    }
+
+    fn lint(path: &str, src: &str) -> Vec<Finding> {
+        lint_lines(path, &scan(src), &table())
+    }
+
+    #[test]
+    fn nondet_iter_fires_in_sim_scope_only() {
+        let src = "fn f() { let m = std::collections::HashMap::<u32, u32>::new(); }\n";
+        assert!(lint("crates/dmamem/src/x.rs", src)
+            .iter()
+            .any(|f| f.rule == "nondet-iter"));
+        assert!(lint("crates/bench/src/x.rs", src).is_empty());
+        // par/obs export paths are exempt.
+        assert!(lint("crates/simcore/src/par.rs", src).is_empty());
+        assert!(lint("crates/simcore/src/obs/metrics.rs", src).is_empty());
+        assert!(!lint("crates/simcore/src/time.rs", src).is_empty());
+    }
+
+    #[test]
+    fn use_lines_and_tests_are_exempt() {
+        let src = "use std::collections::HashMap;\n#[cfg(test)]\nmod tests {\n    fn t() { let m: HashMap<u8, u8> = HashMap::new(); }\n}\n";
+        assert!(lint("crates/dmamem/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_same_and_next_line() {
+        let src = "\
+// simlint::allow(nondet-iter, \"lookup-only map, never iterated\")\n\
+fn f() { let m: std::collections::HashMap<u8, u8> = Default::default(); }\n\
+fn g() { let s: std::collections::HashSet<u8> = Default::default(); } // simlint::allow(nondet-iter, \"also fine\")\n";
+        assert!(lint("crates/dmamem/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_deny_finding() {
+        let src = "// simlint::allow(nondet-iter)\nfn f() { let m: std::collections::HashMap<u8, u8> = Default::default(); }\n";
+        let fs = lint("crates/dmamem/src/x.rs", src);
+        assert!(fs
+            .iter()
+            .any(|f| f.rule == "allow-syntax" && f.severity == Severity::Deny));
+        // The allow is malformed, so it does NOT suppress.
+        assert!(fs.iter().any(|f| f.rule == "nondet-iter"));
+    }
+
+    #[test]
+    fn unused_allow_is_a_warning() {
+        let src = "// simlint::allow(wall-clock, \"no longer needed\")\nfn f() {}\n";
+        let fs = lint("crates/dmamem/src/x.rs", src);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].rule, "unused-allow");
+        assert_eq!(fs[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn wall_clock_scope() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert!(lint("crates/simcore/src/time.rs", src)
+            .iter()
+            .any(|f| f.rule == "wall-clock"));
+        assert!(lint("crates/bench/src/sweep.rs", src).is_empty());
+        assert!(lint("crates/criterion/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn ambient_random_fires() {
+        let src = "fn f() { let r = rand::thread_rng(); }\n";
+        assert!(lint("crates/trace/src/x.rs", src)
+            .iter()
+            .any(|f| f.rule == "ambient-random"));
+    }
+
+    #[test]
+    fn float_cmp_sort_and_literal_eq() {
+        let sort = "fn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n";
+        assert!(lint("crates/iobus/src/x.rs", sort)
+            .iter()
+            .any(|f| f.rule == "float-cmp"));
+        let eq = "fn f(x: f64) -> bool { x == 0.5 }\n";
+        assert!(lint("crates/dmamem/src/x.rs", eq)
+            .iter()
+            .any(|f| f.rule == "float-cmp"));
+        // Integer equality is fine; tuple-field access is not a float.
+        assert!(lint(
+            "crates/dmamem/src/x.rs",
+            "fn f(x: u64) -> bool { x == 0 }\n"
+        )
+        .is_empty());
+        assert!(lint(
+            "crates/dmamem/src/x.rs",
+            "fn f(p: (u8, u8)) -> bool { p.0 == p.1 }\n"
+        )
+        .is_empty());
+        // total_cmp is the fix.
+        assert!(lint(
+            "crates/iobus/src/x.rs",
+            "fn f(v: &mut [f64]) { v.sort_by(f64::total_cmp); }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn panic_path_deny_and_index_warn() {
+        let src = "fn f(v: &[u8]) -> u8 { let x = v.first().unwrap(); v[0] + x }\n";
+        let fs = lint("crates/dmamem/src/system.rs", src);
+        assert!(fs
+            .iter()
+            .any(|f| f.rule == "panic-path" && f.severity == Severity::Deny));
+        assert!(fs
+            .iter()
+            .any(|f| f.rule == "panic-path" && f.severity == Severity::Warn));
+        // Outside hot paths the rule is silent.
+        assert!(lint("crates/dmamem/src/metrics.rs", src).is_empty());
+    }
+
+    #[test]
+    fn obs_key_checks_literals_even_in_tests() {
+        let good = "fn t() { assert!(reg.counter(\"dmamem.wakes\").is_some()); }\n";
+        assert!(lint("crates/bench/tests/x.rs", good).is_empty());
+        // simlint::allow(obs-key, "deliberately misspelled key: negative test input")
+        let bad = "fn t() { assert!(reg.counter(\"dmamem.wakse\").is_some()); }\n";
+        assert!(lint("crates/bench/tests/x.rs", bad)
+            .iter()
+            .any(|f| f.rule == "obs-key"));
+        // simlint::allow(obs-key, "deliberately misspelled event kind: negative test input")
+        let bad_kind = "fn t() { assert!(l.contains(r#\"\"kind\":\"epoch_tik\"\"#)); }\n";
+        assert!(lint("crates/dmamem/src/obs.rs", bad_kind)
+            .iter()
+            .any(|f| f.rule == "obs-key"));
+        let good_kind = "fn t() { assert!(l.contains(r#\"\"kind\":\"epoch_tick\"\"#)); }\n";
+        assert!(lint("crates/dmamem/src/obs.rs", good_kind).is_empty());
+    }
+
+    #[test]
+    fn trailing_punctuation_does_not_break_keys() {
+        let src = "fn t() { assert!(csv.contains(\"dmamem.wakes,\")); }\n";
+        assert!(lint("crates/bench/src/lib.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,312 @@
+//! Source scanner: a hand-rolled lexical pass over Rust source that
+//! separates *code* from comments and string literals, so rules match
+//! only real code while comment text (for `simlint::allow` directives)
+//! and string-literal contents (for the `obs-key` rule) stay
+//! addressable per line.
+//!
+//! This is deliberately not a full Rust lexer — no `syn`, matching the
+//! workspace's offline/no-external-deps convention — but it handles the
+//! token classes that matter for masking: line comments, nested block
+//! comments, string literals with escapes, raw strings (`r"…"`,
+//! `r#"…"#`, any hash depth, byte variants), char literals, and
+//! lifetimes (`'a` is *not* an unterminated char literal).
+
+/// One scanned source line.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Code with comments removed and string/char literal contents
+    /// blanked (delimiters kept, so `.expect("…")` still shows the call).
+    pub code: String,
+    /// Comment text on this line (line and block comments concatenated).
+    pub comment: String,
+    /// Contents of string literals that *start* on this line, raw
+    /// (escape sequences unprocessed).
+    pub literals: Vec<String>,
+    /// True when the line sits inside `#[cfg(test)]`-gated code.
+    pub in_test: bool,
+}
+
+enum Mode {
+    Code,
+    LineComment,
+    /// Nested block comment, with current depth.
+    BlockComment(u32),
+    /// Ordinary string literal.
+    Str,
+    /// Raw string literal closed by `"` followed by this many `#`s.
+    RawStr(u32),
+}
+
+/// Returns the hash depth when `chars[i..]` starts a raw string
+/// (`i` points at the `r`): `r"`, `r#"`, `r##"`, …
+fn raw_start(chars: &[char], i: usize) -> Option<u32> {
+    let mut j = i + 1;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some(hashes)
+    } else {
+        None
+    }
+}
+
+/// True when the raw-string closing quote at `chars[i]` is followed by
+/// `hashes` `#` characters.
+fn raw_closes(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Scans `source` into per-line code/comment/literal records and marks
+/// `#[cfg(test)]`-gated regions.
+pub fn scan(source: &str) -> Vec<Line> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines: Vec<Line> = Vec::new();
+    let mut cur = Line::default();
+    // Literals are attached to the line their opening quote is on; the
+    // line index is only known once pushed, so collect and distribute.
+    let mut pending_literals: Vec<(usize, String)> = Vec::new();
+    let mut lit_buf = String::new();
+    let mut lit_line = 0usize;
+    let mut mode = Mode::Code;
+    let mut i = 0usize;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            match mode {
+                Mode::LineComment => mode = Mode::Code,
+                Mode::Str | Mode::RawStr(_) => lit_buf.push('\n'),
+                _ => {}
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    mode = Mode::LineComment;
+                    i += 2;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    mode = Mode::BlockComment(1);
+                    cur.code.push(' ');
+                    i += 2;
+                } else if c == '"' {
+                    mode = Mode::Str;
+                    cur.code.push('"');
+                    lit_buf.clear();
+                    lit_line = lines.len();
+                    i += 1;
+                } else if c == 'r' {
+                    if let Some(h) = raw_start(&chars, i) {
+                        mode = Mode::RawStr(h);
+                        cur.code.push('"');
+                        lit_buf.clear();
+                        lit_line = lines.len();
+                        i += 2 + h as usize;
+                    } else {
+                        cur.code.push(c);
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    if chars.get(i + 1) == Some(&'\\') {
+                        // Escaped char literal: skip to the closing quote.
+                        cur.code.push_str("' '");
+                        i += 2;
+                        while i < chars.len() && chars[i] != '\'' {
+                            i += 1;
+                        }
+                        i += 1;
+                    } else if chars.get(i + 2) == Some(&'\'')
+                        && chars.get(i + 1).is_some_and(|&x| x != '\'')
+                    {
+                        // Plain char literal 'x'.
+                        cur.code.push_str("' '");
+                        i += 3;
+                    } else {
+                        // Lifetime tick.
+                        cur.code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    cur.code.push(c);
+                    i += 1;
+                }
+            }
+            Mode::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            Mode::BlockComment(depth) => {
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    mode = Mode::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    lit_buf.push(c);
+                    if let Some(&next) = chars.get(i + 1) {
+                        lit_buf.push(next);
+                    }
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    pending_literals.push((lit_line, std::mem::take(&mut lit_buf)));
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    lit_buf.push(c);
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' && raw_closes(&chars, i, hashes) {
+                    cur.code.push('"');
+                    pending_literals.push((lit_line, std::mem::take(&mut lit_buf)));
+                    mode = Mode::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    lit_buf.push(c);
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        lines.push(cur);
+    }
+    // An unterminated literal at EOF still surfaces for obs-key checks.
+    if !lit_buf.is_empty() {
+        pending_literals.push((lit_line, lit_buf));
+    }
+    for (idx, lit) in pending_literals {
+        if let Some(line) = lines.get_mut(idx) {
+            line.literals.push(lit);
+        }
+    }
+    mark_test_regions(&mut lines);
+    lines
+}
+
+/// Marks lines inside `#[cfg(test)]`-gated items (the attribute line,
+/// the item header, and the braced block). Limitation: the attribute is
+/// assumed to gate the next braced item — true for the `mod tests`
+/// convention this workspace uses everywhere.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut depth: i64 = 0;
+    let mut armed = false;
+    let mut skip_from: Option<i64> = None;
+    for line in lines.iter_mut() {
+        let mut in_test = skip_from.is_some();
+        if line.code.contains("#[cfg(test)]") {
+            armed = true;
+        }
+        if armed {
+            in_test = true;
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    if armed && skip_from.is_none() {
+                        skip_from = Some(depth);
+                        armed = false;
+                        in_test = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if skip_from == Some(depth) {
+                        skip_from = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+        line.in_test = in_test;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_stripped_from_code() {
+        let lines = scan("let x = 1; // trailing\n/* block */ let y = 2;\n");
+        assert_eq!(lines[0].code.trim_end(), "let x = 1;");
+        assert_eq!(lines[0].comment.trim(), "trailing");
+        assert!(lines[1].code.contains("let y = 2;"));
+        assert!(!lines[1].code.contains("block"));
+        assert_eq!(lines[1].comment.trim(), "block");
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let lines = scan("/* a /* b */ c */ code();\n");
+        assert!(lines[0].code.contains("code();"));
+        assert!(!lines[0].code.contains('a'));
+    }
+
+    #[test]
+    fn string_contents_are_masked_but_recorded() {
+        let lines = scan("call(\"HashMap inside\"); after();\n");
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(lines[0].code.contains("after();"));
+        assert_eq!(lines[0].literals, vec!["HashMap inside".to_string()]);
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let lines = scan("a(r#\"raw \" quote\"#); b(\"es\\\"c\");\n");
+        assert_eq!(lines[0].literals.len(), 2);
+        assert_eq!(lines[0].literals[0], "raw \" quote");
+        assert_eq!(lines[0].literals[1], "es\\\"c");
+    }
+
+    #[test]
+    fn multiline_string_attaches_to_start_line() {
+        let lines = scan("x(\"first\nsecond\");\ntail();\n");
+        assert_eq!(lines[0].literals, vec!["first\nsecond".to_string()]);
+        assert!(lines[2].code.contains("tail();"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lines = scan("fn f<'a>(x: &'a str) -> &'a str { x }\n");
+        assert!(lines[0].code.contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn char_literals_are_masked() {
+        let lines = scan("let c = '\"'; let d = '\\n'; live();\n");
+        assert!(lines[0].code.contains("live();"));
+        assert!(lines[0].literals.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let lines = scan(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test);
+        assert!(lines[2].in_test);
+        assert!(lines[3].in_test);
+        assert!(lines[4].in_test);
+        assert!(!lines[5].in_test);
+    }
+}

@@ -1,0 +1,7 @@
+// Allow-annotated twin: entropy is used for a temp-file name on the
+// host side, never for simulated state.
+pub fn temp_tag() -> u64 {
+    // simlint::allow(ambient-random, "temp-file name entropy on the host side; never reaches sim state")
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

@@ -1,0 +1,5 @@
+// Seeded violation: ambient RNG construction in simulation code.
+pub fn jitter() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0..100)
+}

@@ -1,0 +1,14 @@
+// Twin: total_cmp fixes the sort; the equality guard is allow-annotated
+// as an exact-zero sentinel.
+pub fn rank(v: &mut [f64]) {
+    v.sort_by(|a, b| f64::total_cmp(b, a));
+}
+
+pub fn fraction(part: f64, total: f64) -> f64 {
+    // simlint::allow(float-cmp, "exact-zero sentinel: division guard, not a tolerance comparison")
+    if total == 0.0 {
+        0.0
+    } else {
+        part / total
+    }
+}

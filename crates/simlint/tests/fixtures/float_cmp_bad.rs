@@ -1,0 +1,9 @@
+// Seeded violations: NaN-unsafe sort comparator and exact float
+// equality in accounting code.
+pub fn rank(v: &mut [f64]) {
+    v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+}
+
+pub fn is_unit(x: f64) -> bool {
+    x == 1.0
+}

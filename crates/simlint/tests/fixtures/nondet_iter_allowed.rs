@@ -1,0 +1,14 @@
+// Allow-annotated twin: same construct, justified as lookup-only.
+use std::collections::HashMap;
+
+pub struct Cache {
+    // simlint::allow(nondet-iter, "lookup-only cache: keyed gets, never iterated")
+    slots: HashMap<u64, u64>,
+}
+
+pub fn build() -> Cache {
+    Cache {
+        // simlint::allow(nondet-iter, "see field comment: lookups only")
+        slots: HashMap::new(),
+    }
+}

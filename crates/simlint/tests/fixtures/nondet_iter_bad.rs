@@ -1,0 +1,9 @@
+// Seeded violation: HashMap iteration order would leak into sim state.
+use std::collections::HashMap;
+
+pub fn hot_pages() -> Vec<u64> {
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    counts.insert(1, 10);
+    counts.insert(2, 20);
+    counts.keys().copied().collect()
+}

@@ -1,0 +1,4 @@
+// Twin: the same check against keys that exist in the registered table.
+pub fn check(line: &str) -> bool {
+    line.contains("dmamem.wakes") && line.contains(r#""kind":"epoch_tick""#)
+}

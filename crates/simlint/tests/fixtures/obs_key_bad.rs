@@ -1,0 +1,5 @@
+// Seeded violation: metric key not in the registered key table
+// (transposed letters), plus an unknown event kind tag.
+pub fn check(line: &str) -> bool {
+    line.contains("dmamem.wakse") && line.contains(r#""kind":"epoch_tik""#)
+}

@@ -1,0 +1,6 @@
+// Allow-annotated twin: the panics carry written invariants.
+pub fn serve(queue: &[u64]) -> u64 {
+    // simlint::allow(panic-path, "caller enqueues before dispatch; an empty queue here is a scheduler bug")
+    let head = queue.first().expect("dispatch on empty queue");
+    *head
+}

@@ -1,0 +1,8 @@
+// Seeded violations: panicking calls in an engine hot path.
+pub fn serve(queue: &[u64]) -> u64 {
+    let head = queue.first().unwrap();
+    if *head == 0 {
+        panic!("empty request");
+    }
+    queue[0]
+}

@@ -1,0 +1,7 @@
+// Allow-annotated twin: host-side profiling, never feeds sim state.
+use std::time::Instant;
+
+pub fn profile_start() -> Instant {
+    // simlint::allow(wall-clock, "host-side profiling only; duration is reported, never simulated")
+    Instant::now()
+}

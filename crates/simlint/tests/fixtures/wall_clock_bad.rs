@@ -1,0 +1,6 @@
+// Seeded violation: host time read inside simulation code.
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

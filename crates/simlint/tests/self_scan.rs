@@ -1,0 +1,63 @@
+//! The lint gate as a test: `cargo test` alone fails on any deny-severity
+//! finding anywhere in the workspace, so determinism regressions are
+//! caught even where CI scripts are not wired up.
+
+use simlint::{find_workspace_root, lint_workspace, Severity};
+
+#[test]
+fn workspace_is_deny_clean() {
+    let manifest_dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(&manifest_dir).expect("workspace root above simlint");
+    let report = lint_workspace(&root).expect("workspace scan");
+
+    // The whole workspace is scanned, not a subtree.
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+
+    let denies: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.severity == Severity::Deny)
+        .collect();
+    assert!(
+        denies.is_empty(),
+        "deny-severity lint findings:\n{}",
+        denies
+            .iter()
+            .map(|f| format!(
+                "  {}:{} [{}] {}\n      {}",
+                f.path, f.line, f.rule, f.message, f.snippet
+            ))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+
+    // Suppressions must stay live: a stale allow hides nothing and
+    // rots into a false sense of coverage.
+    let stale: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "unused-allow")
+        .collect();
+    assert!(
+        stale.is_empty(),
+        "stale simlint::allow directives: {stale:?}"
+    );
+}
+
+#[test]
+fn json_report_is_well_formed() {
+    let manifest_dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(&manifest_dir).expect("workspace root above simlint");
+    let report = lint_workspace(&root).expect("workspace scan");
+    let json = report.to_json();
+    assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+    assert!(json.contains("\"files_scanned\""));
+    assert!(json.contains("\"findings\""));
+    // Warn findings are always serialized, even though the CLI hides
+    // them by default.
+    assert!(json.contains("\"warn\""));
+}

@@ -28,6 +28,7 @@ struct Node {
 #[derive(Debug, Clone)]
 pub struct LruSet {
     capacity: usize,
+    // simlint::allow(nondet-iter, "key -> node-index lookups only; recency order lives in the intrusive list, the map is never iterated")
     map: HashMap<u64, usize>,
     nodes: Vec<Node>,
     free: Vec<usize>,
@@ -45,6 +46,7 @@ impl LruSet {
         assert!(capacity > 0, "zero-capacity LRU");
         LruSet {
             capacity,
+            // simlint::allow(nondet-iter, "see field comment: O(1) lookups only, never iterated")
             map: HashMap::with_capacity(capacity),
             nodes: Vec::with_capacity(capacity),
             free: Vec::new(),

@@ -1,6 +1,6 @@
 //! Page-popularity CDF (the paper's Figure 4).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::event::{Trace, TraceEvent};
@@ -35,7 +35,10 @@ impl PopularityCdf {
     /// Builds the CDF from the DMA accesses of `trace` (processor accesses
     /// are excluded, matching Figure 4's "DMA transfer workload").
     pub fn from_trace(trace: &Trace) -> Self {
-        let mut by_page: HashMap<u64, u64> = HashMap::new();
+        // Ordered so that equal-count pages always collect in the same
+        // sequence: the CDF (and anything ranked from it) is identical
+        // across runs and hash-seed perturbations.
+        let mut by_page: BTreeMap<u64, u64> = BTreeMap::new();
         for e in trace {
             if let TraceEvent::Dma(d) = e {
                 *by_page.entry(d.page).or_insert(0) += 1;
@@ -159,6 +162,20 @@ mod tests {
         assert!((cdf.share_of_top(0.5) - 0.90).abs() < 1e-12);
         assert!((cdf.share_of_top(1.0) - 1.0).abs() < 1e-12);
         assert_eq!(cdf.share_of_top(0.0), 0.0);
+    }
+
+    #[test]
+    fn cdf_is_identical_across_repeated_builds() {
+        // Regression for the accumulation container: page counts with
+        // many ties must collect into the same ranked counts vector on
+        // every build, independent of any hash seed.
+        let spec: Vec<(u64, u64)> = (0..64).map(|p| (p * 7 % 64, 1 + p % 4)).collect();
+        let trace = trace_with_counts(&spec);
+        let first = PopularityCdf::from_trace(&trace);
+        for _ in 0..8 {
+            assert_eq!(first, PopularityCdf::from_trace(&trace));
+        }
+        assert_eq!(first.pages(), 64);
     }
 
     #[test]

@@ -22,6 +22,15 @@
 //! `--metrics-out FILE` writes the metrics-registry snapshot as JSON, and
 //! `--obs-summary` prints the per-run summary (counters, slack ledger,
 //! replayed guarantee verdict, span timings).
+//!
+//! The `trace-report` exhibit runs the Figure-2 workloads (plus OLTP-St
+//! under DMA-TA-PL(2)) with transfer-level causal tracing:
+//! `--trace-out FILE` writes the DMA-TA run's span trace as Chrome
+//! `trace_event` JSON (open at <https://ui.perfetto.dev>), `--attrib-out
+//! FILE` writes the energy-waste attribution report consumed by the
+//! `trace_diff` regression differ, `--attrib-summary` prints per-run
+//! bucket percentages, and `--check` validates every span tree and the
+//! bucket-sum invariant, failing the process on any violation.
 
 use std::env;
 use std::fs;
@@ -48,6 +57,10 @@ fn main() -> ExitCode {
     let mut events_out: Option<PathBuf> = None;
     let mut metrics_out: Option<PathBuf> = None;
     let mut obs_summary = false;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut attrib_out: Option<PathBuf> = None;
+    let mut attrib_summary = false;
+    let mut trace_check = false;
     let mut args = env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -84,6 +97,16 @@ fn main() -> ExitCode {
                 None => return usage("--metrics-out needs a file"),
             },
             "--obs-summary" => obs_summary = true,
+            "--trace-out" => match args.next() {
+                Some(f) => trace_out = Some(PathBuf::from(f)),
+                None => return usage("--trace-out needs a file"),
+            },
+            "--attrib-out" => match args.next() {
+                Some(f) => attrib_out = Some(PathBuf::from(f)),
+                None => return usage("--attrib-out needs a file"),
+            },
+            "--attrib-summary" => attrib_summary = true,
+            "--check" => trace_check = true,
             "--help" | "-h" => return usage(""),
             other if !other.starts_with('-') => exhibit = other.to_string(),
             other => return usage(&format!("unknown flag {other}")),
@@ -274,6 +297,74 @@ fn main() -> ExitCode {
         write_csv("obs_summary.csv", bench::csv::obs_summary(&run));
     }
 
+    if exhibit == "trace-report"
+        || trace_out.is_some()
+        || attrib_out.is_some()
+        || attrib_summary
+        || trace_check
+    {
+        matched = true;
+        section("Trace report: causally-traced runs (fig-2 workloads + DMA-TA)");
+        let runs = runner.traced_runs(exp, 0.10, 1 << 20);
+        let attribs: Vec<_> = runs.iter().map(|r| r.attribution()).collect();
+        for a in &attribs {
+            println!("{}", a.summary_line());
+        }
+        if trace_check {
+            for (run, a) in runs.iter().zip(&attribs) {
+                let trace = run.result.trace.as_ref().expect("traced run");
+                match trace.validate() {
+                    Ok(stats) => println!(
+                        "check {} / {}: {} spans, {} records, {} dropped — span tree valid",
+                        a.workload, a.scheme, stats.spans, stats.records, stats.dropped
+                    ),
+                    Err(e) => {
+                        eprintln!("error: {} / {}: invalid trace: {e}", a.workload, a.scheme);
+                        return ExitCode::FAILURE;
+                    }
+                }
+                let err = a.checksum_rel_err();
+                if err > 1e-9 {
+                    eprintln!(
+                        "error: {} / {}: attribution buckets missum total energy (rel err {err:e})",
+                        a.workload, a.scheme
+                    );
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "check {} / {}: buckets sum to {:.3} mJ (rel err {err:.1e})",
+                    a.workload, a.scheme, a.total_mj
+                );
+            }
+        }
+        if let Some(path) = &trace_out {
+            // The DMA-TA run (last) is the causally richest export.
+            let trace = runs
+                .last()
+                .and_then(|r| r.result.trace.as_ref())
+                .expect("traced run");
+            match fs::write(path, trace.to_chrome_json()) {
+                Ok(()) => println!(
+                    "(Perfetto trace written to {}; open at https://ui.perfetto.dev)",
+                    path.display()
+                ),
+                Err(e) => {
+                    eprintln!("error: cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if let Some(path) = &attrib_out {
+            match fs::write(path, dmamem::attribution_json(&attribs)) {
+                Ok(()) => println!("(attribution report written to {})", path.display()),
+                Err(e) => {
+                    eprintln!("error: cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
     if let Some(path) = &timing_out {
         matched = true;
         section("Sweep engine: serial vs parallel figure matrix");
@@ -310,7 +401,7 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: experiments [table1|table2|fig2a|fig2b|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|groups|tpch|all] [--ms N] [--seed S] [--threads N] [--quick] [--csv DIR] [--timing-out FILE] [--events-out FILE] [--metrics-out FILE] [--obs-summary]"
+        "usage: experiments [table1|table2|fig2a|fig2b|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|groups|tpch|trace-report|all] [--ms N] [--seed S] [--threads N] [--quick] [--csv DIR] [--timing-out FILE] [--events-out FILE] [--metrics-out FILE] [--obs-summary] [--trace-out FILE] [--attrib-out FILE] [--attrib-summary] [--check]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

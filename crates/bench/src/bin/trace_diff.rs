@@ -1,0 +1,83 @@
+//! Attribution-report regression differ.
+//!
+//! ```text
+//! trace_diff BASELINE.json CURRENT.json [--tol F]
+//! ```
+//!
+//! Compares two energy-waste attribution reports (as written by
+//! `experiments trace-report --attrib-out`) bucket by bucket on
+//! *fractions of run energy* and exits non-zero when any bucket's share
+//! drifted by more than the tolerance (default 0.02) or the run/bucket
+//! structure changed. CI diffs every traced sweep against the committed
+//! `crates/bench/baselines/attrib_quick.json`.
+
+use std::env;
+use std::fs;
+use std::process::ExitCode;
+
+use bench::trace_diff::{diff, DEFAULT_TOLERANCE};
+
+fn main() -> ExitCode {
+    let mut files = Vec::new();
+    let mut tol = DEFAULT_TOLERANCE;
+    let mut args = env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--tol" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v >= 0.0 => tol = v,
+                _ => return usage("--tol needs a non-negative number"),
+            },
+            "--help" | "-h" => return usage(""),
+            other if !other.starts_with('-') => files.push(other.to_string()),
+            other => return usage(&format!("unknown flag {other}")),
+        }
+    }
+    let [baseline_path, current_path] = files.as_slice() else {
+        return usage("expected exactly two report files");
+    };
+    let read = |path: &str| match fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(baseline), Some(current)) = (read(baseline_path), read(current_path)) else {
+        return ExitCode::FAILURE;
+    };
+    match diff(&baseline, &current, tol) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.passed() {
+                println!(
+                    "trace_diff: {} buckets within tolerance",
+                    report.entries.len()
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "trace_diff: {} of {} buckets drifted beyond {tol}",
+                    report.failures().len(),
+                    report.entries.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("trace_diff: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: trace_diff BASELINE.json CURRENT.json [--tol F]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -13,6 +13,7 @@ use dmamem::experiments::{
 use mempower::{EnergyBreakdown, EnergyCategory};
 
 pub mod sweep;
+pub mod trace_diff;
 
 /// Renders an energy breakdown as a one-line percentage summary.
 pub fn breakdown_line(e: &EnergyBreakdown) -> String {

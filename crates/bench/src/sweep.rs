@@ -16,7 +16,7 @@ use std::time::Instant;
 use dma_trace::TraceStats;
 use dmamem::experiments::{
     self, ExpConfig, Fig10Row, Fig5Row, Fig7Row, Fig8Row, Fig9Row, GroupAblationRow, ObservedRun,
-    TpchRow, Workload,
+    TpchRow, TracedRun, Workload,
 };
 use dmamem::sweep::{MemoStats, SweepCtx};
 use mempower::EnergyBreakdown;
@@ -153,6 +153,19 @@ impl SweepRunner {
     ) -> ObservedRun {
         self.timed("observed", |ctx| {
             experiments::observed_run_ctx(ctx, exp, cp_limit, event_capacity)
+        })
+    }
+
+    /// The causally-traced runs (Figure-2 workloads plus a DMA-TA run),
+    /// with their baselines and traces memoized.
+    pub fn traced_runs(
+        &mut self,
+        exp: ExpConfig,
+        cp_limit: f64,
+        capacity: usize,
+    ) -> Vec<TracedRun> {
+        self.timed("trace", |ctx| {
+            experiments::traced_runs_ctx(ctx, exp, cp_limit, capacity)
         })
     }
 }

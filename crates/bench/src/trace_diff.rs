@@ -1,0 +1,227 @@
+//! Regression differ for energy-waste attribution reports.
+//!
+//! Compares two attribution JSONs (as written by
+//! `experiments trace-report --attrib-out`, i.e.
+//! [`dmamem::tracing::attribution_json`]) run by run and bucket by
+//! bucket. Absolute energies drift with trace length and hardware-free
+//! determinism makes them reproducible anyway, so the differ compares
+//! **bucket fractions** — each bucket's share of its run's total — and
+//! fails when any share moved by more than the tolerance. CI runs it
+//! against the committed `crates/bench/baselines/attrib_quick.json` so a
+//! change that silently shifts where the energy goes (say, active-idle
+//! reclassified as serving) fails the build even when the totals still
+//! look plausible.
+
+use simcore::obs::json::{parse, JsonValue};
+
+/// Default tolerated drift in a bucket's fraction of run energy.
+pub const DEFAULT_TOLERANCE: f64 = 0.02;
+
+/// One compared bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffEntry {
+    /// Run key: `workload / scheme`.
+    pub run: String,
+    /// Bucket label (`useful_active`, `active_idle_dma`, ...).
+    pub bucket: String,
+    /// Baseline fraction of run energy.
+    pub baseline: f64,
+    /// Current fraction of run energy.
+    pub current: f64,
+}
+
+impl DiffEntry {
+    /// Absolute drift between the two fractions.
+    pub fn drift(&self) -> f64 {
+        (self.current - self.baseline).abs()
+    }
+}
+
+/// A full comparison of two attribution reports.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Every bucket compared, report order.
+    pub entries: Vec<DiffEntry>,
+    /// The tolerance the comparison ran with.
+    pub tolerance: f64,
+}
+
+impl DiffReport {
+    /// Entries whose drift exceeds the tolerance.
+    pub fn failures(&self) -> Vec<&DiffEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.drift() > self.tolerance)
+            .collect()
+    }
+
+    /// Whether every bucket stayed within tolerance.
+    pub fn passed(&self) -> bool {
+        self.failures().is_empty()
+    }
+
+    /// Human-readable rendering, one line per compared bucket.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            let mark = if e.drift() > self.tolerance {
+                "FAIL"
+            } else {
+                "ok"
+            };
+            out.push_str(&format!(
+                "{mark:>4}  {:<36} {:<16} {:>7.3} -> {:>7.3} (drift {:.4}, tol {:.4})\n",
+                e.run,
+                e.bucket,
+                e.baseline,
+                e.current,
+                e.drift(),
+                self.tolerance
+            ));
+        }
+        out
+    }
+}
+
+struct Run {
+    key: String,
+    total: f64,
+    buckets: Vec<(String, f64)>,
+}
+
+fn parse_report(label: &str, text: &str) -> Result<Vec<Run>, String> {
+    let v = parse(text).map_err(|e| format!("{label}: {e}"))?;
+    let runs = v
+        .get("runs")
+        .and_then(|r| r.as_array())
+        .ok_or_else(|| format!("{label}: missing `runs` array"))?;
+    let mut out = Vec::new();
+    for (i, run) in runs.iter().enumerate() {
+        let workload = run
+            .get("workload")
+            .and_then(|w| w.as_str())
+            .ok_or_else(|| format!("{label}: run {i} missing `workload`"))?;
+        let scheme = run
+            .get("scheme")
+            .and_then(|s| s.as_str())
+            .ok_or_else(|| format!("{label}: run {i} missing `scheme`"))?;
+        let total = run
+            .get("total_mj")
+            .and_then(|t| t.as_f64())
+            .ok_or_else(|| format!("{label}: run {i} missing `total_mj`"))?;
+        let JsonValue::Object(pairs) = run
+            .get("buckets")
+            .ok_or_else(|| format!("{label}: run {i} missing `buckets`"))?
+        else {
+            return Err(format!("{label}: run {i} `buckets` is not an object"));
+        };
+        let mut buckets = Vec::new();
+        for (name, value) in pairs {
+            let mj = value
+                .as_f64()
+                .ok_or_else(|| format!("{label}: run {i} bucket `{name}` not a number"))?;
+            buckets.push((name.clone(), mj));
+        }
+        out.push(Run {
+            key: format!("{workload} / {scheme}"),
+            total,
+            buckets,
+        });
+    }
+    Ok(out)
+}
+
+fn fraction(mj: f64, total: f64) -> f64 {
+    if total <= 0.0 {
+        0.0
+    } else {
+        mj / total
+    }
+}
+
+/// Diffs two attribution-report JSONs. Errors on malformed input or
+/// structural mismatch (different run sets or bucket sets — a missing
+/// run is a regression the tolerance cannot excuse); bucket drift is
+/// reported through [`DiffReport`].
+pub fn diff(baseline: &str, current: &str, tolerance: f64) -> Result<DiffReport, String> {
+    let base_runs = parse_report("baseline", baseline)?;
+    let cur_runs = parse_report("current", current)?;
+    if base_runs.len() != cur_runs.len() {
+        return Err(format!(
+            "run count mismatch: baseline has {}, current has {}",
+            base_runs.len(),
+            cur_runs.len()
+        ));
+    }
+    let mut entries = Vec::new();
+    for (b, c) in base_runs.iter().zip(&cur_runs) {
+        if b.key != c.key {
+            return Err(format!(
+                "run mismatch at position: baseline `{}` vs current `{}`",
+                b.key, c.key
+            ));
+        }
+        if b.buckets.len() != c.buckets.len() {
+            return Err(format!("run `{}`: bucket set changed", b.key));
+        }
+        for ((bn, bmj), (cn, cmj)) in b.buckets.iter().zip(&c.buckets) {
+            if bn != cn {
+                return Err(format!(
+                    "run `{}`: bucket `{bn}` vs `{cn}` at same position",
+                    b.key
+                ));
+            }
+            entries.push(DiffEntry {
+                run: b.key.clone(),
+                bucket: bn.clone(),
+                baseline: fraction(*bmj, b.total),
+                current: fraction(*cmj, c.total),
+            });
+        }
+    }
+    Ok(DiffReport { entries, tolerance })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(idle: f64, serving: f64) -> String {
+        format!(
+            "{{\"runs\":[{{\"workload\":\"OLTP-St\",\"scheme\":\"baseline\",\
+             \"total_mj\":{t},\"buckets\":{{\"useful_active\":{serving},\
+             \"active_idle_dma\":{idle}}},\"per_chip\":[]}}]}}",
+            t = idle + serving
+        )
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report(60.0, 40.0);
+        let d = diff(&r, &r, DEFAULT_TOLERANCE).unwrap();
+        assert!(d.passed());
+        assert_eq!(d.entries.len(), 2);
+        assert!(d.render().contains("ok"));
+    }
+
+    #[test]
+    fn drift_beyond_tolerance_fails() {
+        let base = report(60.0, 40.0);
+        let cur = report(55.0, 45.0); // 5-point share shift
+        let d = diff(&base, &cur, 0.02).unwrap();
+        assert!(!d.passed());
+        assert_eq!(d.failures().len(), 2);
+        assert!(d.render().contains("FAIL"));
+        // A looser tolerance accepts the same drift.
+        assert!(diff(&base, &cur, 0.10).unwrap().passed());
+    }
+
+    #[test]
+    fn structural_mismatch_is_an_error() {
+        let base = report(60.0, 40.0);
+        assert!(diff(&base, "{\"runs\":[]}", 0.02).is_err());
+        assert!(diff("not json", &base, 0.02).is_err());
+        let other = base.replace("OLTP-St", "OLTP-Db");
+        assert!(diff(&base, &other, 0.02).is_err());
+    }
+}

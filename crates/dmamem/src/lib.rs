@@ -56,9 +56,11 @@ pub mod obs;
 pub mod sweep;
 mod system;
 pub mod timeline;
+pub mod tracing;
 
 pub use config::{PlConfig, PolicyKind, Scheme, SystemConfig, TaConfig};
 pub use layout::PageMap;
 pub use metrics::SimResult;
 pub use obs::{replay_slack, RunObs, SimEvent, SlackReplay, SlackSummary};
 pub use system::ServerSimulator;
+pub use tracing::{attribution_json, RunAttribution, Tracer, WasteBuckets};

@@ -1,6 +1,7 @@
 //! Simulation results and derived metrics.
 
-use mempower::{EnergyBreakdown, EnergyCategory};
+use mempower::{EnergyBreakdown, EnergyCategory, ModeResidency};
+use simcore::obs::trace::TraceBuffer;
 use simcore::stats::DurationStats;
 use simcore::SimDuration;
 
@@ -19,6 +20,12 @@ pub struct SimResult {
     pub energy: EnergyBreakdown,
     /// Per-chip total energy in millijoules (hot/cold structure).
     pub per_chip_mj: Vec<f64>,
+    /// Per-chip energy breakdowns (same category split as [`Self::energy`],
+    /// one ledger per chip; drives the per-chip attribution report).
+    pub per_chip_energy: Vec<EnergyBreakdown>,
+    /// Per-chip power-mode residency (time settled in each mode plus
+    /// transitioning; sums to the horizon per chip).
+    pub per_chip_residency: Vec<ModeResidency>,
     /// Simulated horizon (start to last accounted instant).
     pub horizon: SimDuration,
     /// DMA-memory requests served.
@@ -57,6 +64,9 @@ pub struct SimResult {
     /// Chip-activity timeline, if recording was requested (see
     /// [`crate::ServerSimulator::with_timeline`]).
     pub timeline: Option<TimelineRecorder>,
+    /// Causal span trace, if tracing was requested (see
+    /// [`crate::ServerSimulator::with_tracing`]).
+    pub trace: Option<TraceBuffer>,
 }
 
 impl SimResult {
@@ -187,6 +197,8 @@ mod tests {
             scheme: "test".into(),
             energy,
             per_chip_mj: vec![],
+            per_chip_energy: vec![],
+            per_chip_residency: vec![],
             horizon: SimDuration::from_us(1),
             dma_requests: 10,
             transfers: 1,
@@ -202,6 +214,7 @@ mod tests {
             slack: None,
             obs: None,
             timeline: None,
+            trace: None,
         }
     }
 

@@ -73,6 +73,28 @@ pub const EVENT_KINDS: &[&str] = &[
     "epoch_tick",
 ];
 
+/// Every span, instant-marker, and counter name the causal tracer can
+/// emit (see [`crate::tracing::Tracer`]), under the `dmamem.trace.*`
+/// namespace. The simlint `obs-key` rule checks `dmamem.trace.*` string
+/// literals against this table, exactly as it checks plain `dmamem.*`
+/// metric keys against [`METRIC_KEYS`]; the
+/// `emitted_names_are_registered` test in [`crate::tracing`] pins the
+/// list to the constants the tracer actually uses.
+pub const TRACE_KEYS: &[&str] = &[
+    "dmamem.trace.transfer",
+    "dmamem.trace.gather_delay",
+    "dmamem.trace.wakeup",
+    "dmamem.trace.lockstep_active",
+    "dmamem.trace.active_idle",
+    "dmamem.trace.drain",
+    "dmamem.trace.release",
+    "dmamem.trace.serving",
+    "dmamem.trace.idle_threshold",
+    "dmamem.trace.transition",
+    "dmamem.trace.low_power",
+    "dmamem.trace.power_mw",
+];
+
 /// Why a slack debit was charged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DebitCause {
@@ -477,6 +499,9 @@ pub struct Obs {
     pub timeline: Option<TimelineRecorder>,
     /// Metric handles, when metrics are enabled.
     pub metrics: Option<ObsMetrics>,
+    /// Causal span tracer, when transfer-level tracing was requested
+    /// (see [`crate::ServerSimulator::with_tracing`]).
+    pub tracer: Option<crate::tracing::Tracer>,
     last_activity: Vec<Option<ChipActivity>>,
     pending_credit_reqs: u64,
     pending_credit_ps: f64,
@@ -495,7 +520,7 @@ impl Obs {
 
     /// True when chip-activity changes have a consumer.
     pub fn wants_activity(&self) -> bool {
-        self.timeline.is_some() || self.sink.is_some()
+        self.timeline.is_some() || self.sink.is_some() || self.tracer.is_some()
     }
 
     /// True when any consumer is attached.
@@ -522,6 +547,9 @@ impl Obs {
                 activity,
             });
         }
+        if let Some(tr) = &mut self.tracer {
+            tr.chip_activity(chip, now, activity);
+        }
     }
 
     /// Records chip power-mode transitions drained from a
@@ -544,6 +572,58 @@ impl Obs {
                     latency: t.latency,
                 });
             }
+            if let Some(tr) = &mut self.tracer {
+                tr.transition(chip, &t);
+            }
+        }
+    }
+
+    /// Forwards a transfer arrival to the causal tracer, if attached.
+    pub fn trace_transfer_started(&mut self, tid: u64, bus: usize, now: SimTime) {
+        if let Some(tr) = &mut self.tracer {
+            tr.transfer_started(tid, bus, now);
+        }
+    }
+
+    /// Forwards a bus request delivery to the causal tracer, if attached.
+    pub fn trace_issued(
+        &mut self,
+        tid: u64,
+        is_first: bool,
+        is_last: bool,
+        wake_pending: bool,
+        now: SimTime,
+    ) {
+        if let Some(tr) = &mut self.tracer {
+            tr.issued(tid, is_first, is_last, wake_pending, now);
+        }
+    }
+
+    /// Forwards a DMA-TA gather decision to the causal tracer, if attached.
+    pub fn trace_gathered(&mut self, tid: u64, now: SimTime) {
+        if let Some(tr) = &mut self.tracer {
+            tr.gathered(tid, now);
+        }
+    }
+
+    /// Forwards a DMA-TA release to the causal tracer, if attached.
+    pub fn trace_released(&mut self, tid: u64, now: SimTime) {
+        if let Some(tr) = &mut self.tracer {
+            tr.released(tid, now);
+        }
+    }
+
+    /// Forwards a service start to the causal tracer, if attached.
+    pub fn trace_serve_start(&mut self, tid: u64, now: SimTime) {
+        if let Some(tr) = &mut self.tracer {
+            tr.serve_start(tid, now);
+        }
+    }
+
+    /// Forwards a service completion to the causal tracer, if attached.
+    pub fn trace_serve_done(&mut self, tid: u64, is_last: bool, now: SimTime) {
+        if let Some(tr) = &mut self.tracer {
+            tr.serve_done(tid, is_last, now);
         }
     }
 

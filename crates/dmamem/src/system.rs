@@ -32,6 +32,7 @@ use crate::layout::PageMap;
 use crate::metrics::SimResult;
 use crate::obs::{DebitCause, Obs, ObsMetrics, ReleaseCause, RunObs, SlackSummary};
 use crate::timeline::{ChipActivity, TimelineRecorder};
+use crate::tracing::Tracer;
 
 /// Simulates a data server running one [`Scheme`] over a trace.
 ///
@@ -45,6 +46,7 @@ pub struct ServerSimulator {
     scheme: Scheme,
     timeline_window: Option<(SimTime, SimTime)>,
     observability: Option<usize>,
+    tracing: Option<usize>,
 }
 
 impl ServerSimulator {
@@ -61,6 +63,7 @@ impl ServerSimulator {
             scheme,
             timeline_window: None,
             observability: None,
+            tracing: None,
         }
     }
 
@@ -87,6 +90,25 @@ impl ServerSimulator {
     pub fn with_timeline(mut self, start: SimTime, end: SimTime) -> Self {
         assert!(start < end, "empty timeline window");
         self.timeline_window = Some((start, end));
+        self
+    }
+
+    /// Enables transfer-level causal tracing into a span ring of
+    /// `capacity` records (oldest dropped first). Every DMA transfer
+    /// becomes a root span on its I/O-bus track with child spans for its
+    /// gather delay, wakeup, lockstep service, active-idle gaps, and
+    /// final drain; chips get activity-span tracks and a power counter.
+    /// The result's [`SimResult::trace`] carries the buffer; export it
+    /// with
+    /// [`to_chrome_json`](simcore::obs::trace::TraceBuffer::to_chrome_json)
+    /// and open the file in Perfetto. See [`crate::tracing`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_tracing(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "zero-capacity trace buffer");
+        self.tracing = Some(capacity);
         self
     }
 
@@ -118,6 +140,24 @@ impl ServerSimulator {
             engine.obs.sink = Some(EventSink::new(capacity));
             engine.obs.metrics = Some(ObsMetrics::new(&registry));
             engine.dispatch_span = Some(SpanTimer::new(&registry, "engine_dispatch"));
+            for c in &mut engine.chips {
+                c.chip.enable_transition_log();
+            }
+        }
+        if let Some(capacity) = self.tracing {
+            let m = &self.config.power_model;
+            let powers = [
+                m.mode_power_mw(PowerMode::Active),
+                m.mode_power_mw(PowerMode::Standby),
+                m.mode_power_mw(PowerMode::Nap),
+                m.mode_power_mw(PowerMode::Powerdown),
+            ];
+            engine.obs.tracer = Some(Tracer::new(
+                capacity,
+                self.config.chips,
+                self.config.buses.len(),
+                powers,
+            ));
             for c in &mut engine.chips {
                 c.chip.enable_transition_log();
             }
@@ -462,6 +502,8 @@ impl<'a> Engine<'a> {
         }
         let mut energy = EnergyBreakdown::new();
         let mut per_chip_mj = Vec::with_capacity(self.chips.len());
+        let mut per_chip_energy = Vec::with_capacity(self.chips.len());
+        let mut per_chip_residency = Vec::with_capacity(self.chips.len());
         let mut wakes = 0;
         for chip in 0..self.chips.len() {
             self.note_transitions(chip);
@@ -470,8 +512,11 @@ impl<'a> Engine<'a> {
             c.chip.sync(horizon);
             energy.merge(c.chip.energy());
             per_chip_mj.push(c.chip.energy().total_mj());
+            per_chip_energy.push(c.chip.energy().clone());
+            per_chip_residency.push(*c.chip.residency());
             wakes += c.chip.wakes();
         }
+        let trace = self.obs.tracer.take().map(|t| t.into_buffer(horizon));
         let obs_report = self.obs.sink.take().map(|events| RunObs {
             metrics: self
                 .obs
@@ -485,6 +530,8 @@ impl<'a> Engine<'a> {
             scheme: self.scheme.label(),
             energy,
             per_chip_mj,
+            per_chip_energy,
+            per_chip_residency,
             horizon: horizon.elapsed_since(SimTime::ZERO),
             dma_requests: self.dma_requests,
             transfers: self.transfers_done,
@@ -499,6 +546,7 @@ impl<'a> Engine<'a> {
             slack: slack_summary,
             obs: obs_report,
             timeline: self.obs.timeline.take(),
+            trace,
             sleep_floor_mw: self.config.chips as f64
                 * self
                     .config
@@ -547,6 +595,7 @@ impl<'a> Engine<'a> {
         }));
         self.chips[chip].chip.dma_transfer_started(self.now);
         self.active_transfers += 1;
+        self.obs.trace_transfer_started(tid, bus, self.now);
         self.tl_note(chip);
         if let Some(tracker) = &mut self.tracker {
             tracker.record(page);
@@ -630,7 +679,15 @@ impl<'a> Engine<'a> {
             ChipPhase::Steady(m) if m.is_low_power()
         ) || matches!(self.chips[chip].chip.phase(), ChipPhase::GoingDown { .. });
 
-        if req.is_first && self.scheme.ta.is_some() && sleeping {
+        let gathering = req.is_first && self.scheme.ta.is_some() && sleeping;
+        self.obs.trace_issued(
+            req.transfer,
+            req.is_first,
+            req.is_last,
+            sleeping && !gathering,
+            self.now,
+        );
+        if gathering {
             // DMA-TA: buffer the first request; the stream stays blocked
             // until the ack at service start.
             let c = &mut self.chips[chip];
@@ -644,6 +701,7 @@ impl<'a> Engine<'a> {
             self.delayed_firsts += 1;
             let pending = self.chips[chip].pending_count();
             self.obs.ta_gather(self.now, chip, pending);
+            self.obs.trace_gathered(req.transfer, self.now);
             self.check_release(chip);
         } else {
             self.enqueue_dma(chip, req);
@@ -717,8 +775,10 @@ impl<'a> Engine<'a> {
                 }
             }
             self.obs.ta_release(self.now, chip, n, cause);
-            for p in &self.chips[chip].pending {
+            for i in 0..self.chips[chip].pending.len() {
+                let p = self.chips[chip].pending[i];
                 self.dbg_pending_delay_ps += self.now.saturating_since(p.arrival).as_ps() as f64;
+                self.obs.trace_released(p.req.transfer, self.now);
             }
             let c = &mut self.chips[chip];
             for p in &c.pending_per_bus {
@@ -808,6 +868,7 @@ impl<'a> Engine<'a> {
                 self.buses[r.req.bus].ack_first(r.req.transfer, self.now);
                 self.schedule_bus_tick(r.req.bus);
             }
+            self.obs.trace_serve_start(r.req.transfer, self.now);
         } else if let Some(dur) = c.mig_ready.pop_front() {
             c.chip
                 .begin_service(self.now, dur, EnergyCategory::Migration);
@@ -869,6 +930,8 @@ impl<'a> Engine<'a> {
                 self.service_sum_ps += (self.now - arrival).as_ps();
                 self.obs.request_served(self.now - arrival);
                 self.dma_serving += service;
+                self.obs
+                    .trace_serve_done(req.transfer, req.is_last, self.now);
                 if req.is_last {
                     let track = self.tracks[(req.transfer - 1) as usize]
                         .take()

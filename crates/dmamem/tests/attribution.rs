@@ -1,0 +1,69 @@
+//! Energy-waste attribution invariants on the Figure-2 workloads.
+//!
+//! Two guarantees: the attribution buckets are a *partition* of run
+//! energy (run buckets sum to the simulator's total, per-chip columns
+//! sum to the run buckets, both to ~1e-9 relative), and the calibrated
+//! paper-utilization configuration reproduces the headline Figure 2(b)
+//! result — 48–51% of memory energy wasted active-idle under DMA
+//! transfers with no power management beyond the baseline policy.
+
+use dmamem::experiments::{
+    fig2b_paper_util_config, fig2b_paper_util_trace, traced_runs_ctx, ExpConfig,
+};
+use dmamem::sweep::SweepCtx;
+use dmamem::{Scheme, ServerSimulator};
+use mempower::EnergyCategory;
+use simcore::SimDuration;
+
+/// Buckets partition total energy exactly, at run and per-chip scope,
+/// for every Figure-2 traced run (baselines plus DMA-TA-PL).
+#[test]
+fn attribution_buckets_partition_run_energy() {
+    let ctx = SweepCtx::serial();
+    let exp = ExpConfig {
+        duration: SimDuration::from_us(2_000),
+        seed: 42,
+    };
+    let runs = traced_runs_ctx(&ctx, exp, 0.10, 1 << 18);
+    assert_eq!(runs.len(), 3, "two baselines plus one DMA-TA-PL run");
+    for run in &runs {
+        let a = run.attribution();
+        assert!(
+            a.checksum_rel_err() <= 1e-9,
+            "{}/{}: buckets do not partition energy (rel err {:.3e})",
+            a.workload,
+            a.scheme,
+            a.checksum_rel_err()
+        );
+        assert_eq!(a.per_chip.len(), run.result.per_chip_mj.len());
+        // Each chip's buckets must also sum to that chip's total ledger.
+        for (chip, buckets) in a.per_chip.iter().enumerate() {
+            let rel = (buckets.total_mj() - run.result.per_chip_mj[chip]).abs()
+                / run.result.per_chip_mj[chip].abs().max(1.0);
+            assert!(
+                rel <= 1e-9,
+                "{} chip {chip}: bucket sum off by rel {rel:.3e}",
+                a.workload
+            );
+        }
+    }
+}
+
+/// Figure 2(b): under the calibrated per-chip utilization (4 chips at
+/// the paper's operating point), the unmanaged baseline wastes 48–51%
+/// of memory energy active-idle during DMA transfers.
+#[test]
+fn fig2b_active_idle_waste_lands_in_paper_band() {
+    let exp = ExpConfig {
+        duration: SimDuration::from_us(8_000),
+        seed: 42,
+    };
+    let trace = fig2b_paper_util_trace(exp);
+    let result = ServerSimulator::new(fig2b_paper_util_config(), Scheme::baseline()).run(&trace);
+    let frac = result.energy.fraction(EnergyCategory::ActiveIdleDma);
+    assert!(
+        (0.48..=0.51).contains(&frac),
+        "active-idle DMA waste {:.1}% outside the paper's 48-51% band",
+        100.0 * frac
+    );
+}

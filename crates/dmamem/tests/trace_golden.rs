@@ -1,0 +1,99 @@
+//! Golden-file test for the Perfetto (Chrome trace-event) exporter.
+//!
+//! A small scripted transfer — gather, release, wakeup, lockstep,
+//! active-idle, drain — plus one chip activity lane and a power-mode
+//! transition is rendered to JSON and compared byte-for-byte against
+//! `tests/golden/trace_small.json`. Any change to the export format is
+//! therefore a deliberate, reviewed diff of the golden file; regenerate
+//! it with `UPDATE_GOLDEN=1 cargo test -p dmamem --test trace_golden`.
+
+use dmamem::timeline::ChipActivity;
+use dmamem::tracing::Tracer;
+use mempower::{PowerMode, TransitionEvent};
+use simcore::obs::json::{parse, JsonValue};
+use simcore::{SimDuration, SimTime};
+
+fn t(us: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_us(us)
+}
+
+/// The scripted scenario. Kept deliberately tiny so the golden file
+/// stays reviewable in a diff.
+fn scripted_trace() -> String {
+    let mut tr = Tracer::new(1 << 10, 2, 1, [300.0, 180.0, 30.0, 3.0]);
+
+    // Chip 0 dozes while transfer 9 arrives on bus 0 and is gathered.
+    tr.chip_activity(0, t(0), ChipActivity::LowPower);
+    tr.transfer_started(9, 0, t(1));
+    tr.issued(9, true, false, false, t(1)); // first request parks in the gather queue
+    tr.gathered(9, t(1));
+
+    // CP-Limit reached: release the gathered transfer, wake the chip.
+    tr.transition(
+        0,
+        &TransitionEvent {
+            at: t(3),
+            from: PowerMode::Nap,
+            to: PowerMode::Active,
+            latency: SimDuration::from_us(1),
+        },
+    );
+    tr.chip_activity(0, t(3), ChipActivity::Transitioning);
+    tr.released(9, t(3)); // release mark + wakeup span
+    tr.chip_activity(0, t(4), ChipActivity::Serving);
+    tr.serve_start(9, t(4)); // wakeup over, lockstep service begins
+    tr.serve_done(9, false, t(6)); // bus caught up -> active-idle gap
+    tr.issued(9, false, true, false, t(7));
+    tr.serve_start(9, t(7)); // last request issued -> drain phase
+    tr.serve_done(9, true, t(8)); // transfer completes, root closes
+
+    tr.chip_activity(0, t(8), ChipActivity::IdleDma);
+    tr.into_buffer(t(10)).to_chrome_json()
+}
+
+#[test]
+fn chrome_json_matches_golden_file() {
+    let json = scripted_trace();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/trace_small.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &json).expect("write golden");
+    }
+    let golden = std::fs::read_to_string(path).expect("golden file present");
+    assert_eq!(
+        json, golden,
+        "Perfetto export changed; if intentional, regenerate with \
+         UPDATE_GOLDEN=1 cargo test -p dmamem --test trace_golden"
+    );
+}
+
+#[test]
+fn chrome_json_has_trace_event_shape() {
+    let parsed = parse(&scripted_trace()).expect("exporter emits valid JSON");
+    let JsonValue::Object(fields) = &parsed else {
+        panic!("top level must be an object");
+    };
+    assert!(fields.iter().any(|(k, _)| k == "displayTimeUnit"));
+    let events = parsed
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    let mut phases = std::collections::BTreeSet::new();
+    for ev in events {
+        let ph = ev
+            .get("ph")
+            .and_then(|v| v.as_str())
+            .expect("every event has a phase");
+        phases.insert(ph.to_string());
+        // Metadata events carry no timestamp or thread id; everything
+        // else must have both.
+        if ph != "M" {
+            assert!(ev.get("ts").and_then(|v| v.as_f64()).is_some());
+            assert!(ev.get("tid").is_some());
+        }
+        assert!(ev.get("pid").is_some());
+    }
+    for want in ["B", "E", "b", "e", "i", "C", "M"] {
+        assert!(phases.contains(want), "missing phase {want}");
+    }
+}

@@ -36,6 +36,65 @@ pub enum ChipPhase {
     },
 }
 
+/// Time a chip spent settled in each power mode, plus time spent
+/// transitioning between modes — the per-state residency view that DRAM
+/// power studies report alongside energy (e.g. Jagtap et al.'s gem5
+/// power-down integration). Sums to the simulated horizon for a chip
+/// synced through the whole run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModeResidency {
+    settled: [SimDuration; 4],
+    transitioning: SimDuration,
+}
+
+impl ModeResidency {
+    /// An empty residency ledger.
+    pub fn new() -> Self {
+        ModeResidency::default()
+    }
+
+    fn mode_slot(mode: PowerMode) -> usize {
+        match mode {
+            PowerMode::Active => 0,
+            PowerMode::Standby => 1,
+            PowerMode::Nap => 2,
+            PowerMode::Powerdown => 3,
+        }
+    }
+
+    fn note(&mut self, phase: ChipPhase, duration: SimDuration) {
+        match phase {
+            ChipPhase::Steady(mode) => self.settled[Self::mode_slot(mode)] += duration,
+            ChipPhase::GoingDown { .. } | ChipPhase::Waking { .. } => {
+                self.transitioning += duration;
+            }
+        }
+    }
+
+    /// Time settled in `mode`.
+    pub fn in_mode(&self, mode: PowerMode) -> SimDuration {
+        self.settled[Self::mode_slot(mode)]
+    }
+
+    /// Time spent in mode transitions (either direction).
+    pub fn transitioning(&self) -> SimDuration {
+        self.transitioning
+    }
+
+    /// Total accounted time (the simulated horizon for a fully-synced chip).
+    pub fn total(&self) -> SimDuration {
+        self.settled.iter().copied().sum::<SimDuration>() + self.transitioning
+    }
+
+    /// Merges another ledger into this one.
+    pub fn merge(&mut self, other: &ModeResidency) {
+        for i in 0..4 {
+            self.settled[i] += other.settled[i];
+        }
+        self.transitioning += other.transitioning;
+    }
+}
+
 /// One recorded power-mode transition (see
 /// [`Chip::enable_transition_log`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +133,7 @@ pub struct Chip {
     serve_category: EnergyCategory,
     inflight_dma: u32,
     energy: EnergyBreakdown,
+    residency: ModeResidency,
     last_activity: SimTime,
     services: u64,
     wakes: u64,
@@ -92,6 +152,7 @@ impl Chip {
             serve_category: EnergyCategory::ActiveServing,
             inflight_dma: 0,
             energy: EnergyBreakdown::new(),
+            residency: ModeResidency::new(),
             last_activity: SimTime::ZERO,
             services: 0,
             wakes: 0,
@@ -200,6 +261,12 @@ impl Chip {
         &self.energy
     }
 
+    /// The per-mode residency ledger so far (accrued up to the last state
+    /// change; call [`Chip::sync`] first for an up-to-the-instant view).
+    pub fn residency(&self) -> &ModeResidency {
+        &self.residency
+    }
+
     /// Accrues energy up to `now` without changing state.
     ///
     /// # Panics
@@ -217,6 +284,7 @@ impl Chip {
         while t < now {
             let (seg_end, category, power) = self.segment_after(t, now);
             self.energy.accrue(category, power, seg_end - t);
+            self.residency.note(self.phase, seg_end - t);
             t = seg_end;
         }
         self.last_accrual = now;
@@ -566,6 +634,50 @@ mod tests {
         assert_eq!(events[1].latency, model.wake(PowerMode::Nap).latency);
         // Draining empties the log.
         assert!(c.take_transition_events().is_empty());
+    }
+
+    #[test]
+    fn residency_partitions_the_synced_horizon() {
+        let model = PowerModel::rdram();
+        let mut c = Chip::new(0, model.clone());
+        c.begin_service(at(0), ns(100), EnergyCategory::ActiveServing);
+        c.sync(at(200));
+        let down_done = c.begin_sleep(at(200), PowerMode::Nap);
+        c.complete_transition(down_done);
+        let wake_done = c.begin_wake(at(1000));
+        c.complete_transition(wake_done);
+        c.sync(at(2000));
+        let r = *c.residency();
+        let down = model.down(PowerMode::Nap).latency;
+        let wake = model.wake(PowerMode::Nap).latency;
+        assert_eq!(r.transitioning(), down + wake);
+        assert_eq!(r.in_mode(PowerMode::Nap), ns(800) - down);
+        assert_eq!(r.in_mode(PowerMode::Powerdown), SimDuration::ZERO);
+        // Active time is everything else; the whole horizon is accounted.
+        assert_eq!(r.total(), ns(2000));
+        assert_eq!(
+            r.in_mode(PowerMode::Active),
+            ns(2000) - r.transitioning() - r.in_mode(PowerMode::Nap)
+        );
+    }
+
+    #[test]
+    fn residency_merge_adds_ledgers() {
+        let mut a = ModeResidency::new();
+        a.note(ChipPhase::Steady(PowerMode::Active), ns(10));
+        let mut b = ModeResidency::new();
+        b.note(ChipPhase::Steady(PowerMode::Active), ns(5));
+        b.note(
+            ChipPhase::Waking {
+                from: PowerMode::Nap,
+                until: at(1),
+            },
+            ns(3),
+        );
+        a.merge(&b);
+        assert_eq!(a.in_mode(PowerMode::Active), ns(15));
+        assert_eq!(a.transitioning(), ns(3));
+        assert_eq!(a.total(), ns(18));
     }
 
     #[test]

@@ -20,9 +20,13 @@
 //! * [`span`] — scoped wall-clock [`SpanTimer`](span::SpanTimer)s for
 //!   profiling simulator hot paths; samples land in a registry histogram
 //!   named `span.<name>_ns`.
+//! * [`trace`] — a causal [`TraceBuffer`](trace::TraceBuffer) of
+//!   begin/end/instant/counter records over simulated time, exportable as
+//!   Chrome/Perfetto `trace_event` JSON.
 //!
-//! A tiny dependency-free JSON writer lives in [`json`]; both exporters
-//! use it.
+//! A tiny dependency-free JSON writer (and the matching minimal parser the
+//! trace tooling uses to re-read its own exports) lives in [`json`]; all
+//! exporters use it.
 //!
 //! # Example
 //!
@@ -40,8 +44,10 @@ pub mod events;
 pub mod json;
 pub mod metrics;
 pub mod span;
+pub mod trace;
 
 pub use events::{EventSink, ObsEvent};
 pub use json::JsonObject;
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
 pub use span::SpanTimer;
+pub use trace::{SpanId, TraceBuffer, TraceStats, TrackId, TrackKind};

@@ -1,0 +1,584 @@
+//! Causal span tracing with Chrome/Perfetto `trace_event` export.
+//!
+//! A [`TraceBuffer`] records a span tree over simulated time: `begin`/`end`
+//! pairs (optionally parented to an enclosing span), point-in-time
+//! instants, and counter samples. Records live in a bounded ring (oldest
+//! dropped first) and carry monotonic [`SimTime`] stamps, so a buffer can
+//! run for the whole simulation at a fixed memory cost.
+//!
+//! Tracks give records a home row in the exported view: the simulator
+//! registers one track per memory chip and one per I/O bus. Export
+//! ([`TraceBuffer::to_chrome_json`]) emits the Chrome `trace_event` JSON
+//! dialect that Perfetto and `chrome://tracing` open directly:
+//!
+//! * each track becomes its own process (`pid` = track index + 1) named by
+//!   a `process_name` metadata event;
+//! * spans on [`TrackKind::Chip`] tracks are synchronous duration events
+//!   (`ph: "B"/"E"`) — chip activity phases strictly nest;
+//! * spans on [`TrackKind::Bus`] tracks are nestable async events
+//!   (`ph: "b"/"e"`) keyed by the *root* span's id, so a transfer and its
+//!   phase children share one async row even while transfers overlap;
+//! * counter samples become `ph: "C"` events and instants `ph: "i"`.
+//!
+//! The buffer is deterministic: identical call sequences produce
+//! byte-identical JSON, which the golden-file tests rely on.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::time::SimTime;
+
+use super::json::JsonObject;
+
+/// What a track represents; decides the span encoding on export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrackKind {
+    /// A memory chip: spans strictly nest (duration events).
+    Chip,
+    /// An I/O bus: spans overlap (nestable async events).
+    Bus,
+}
+
+/// Identifies a registered track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrackId(u32);
+
+/// Identifies a span within one buffer (ids are never reused).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SpanId(u64);
+
+#[derive(Debug, Clone)]
+struct Track {
+    name: String,
+    kind: TrackKind,
+}
+
+#[derive(Debug, Clone)]
+enum Record {
+    Begin {
+        id: SpanId,
+        parent: Option<SpanId>,
+        track: TrackId,
+        name: &'static str,
+        at: SimTime,
+    },
+    End {
+        id: SpanId,
+        at: SimTime,
+    },
+    Instant {
+        track: TrackId,
+        name: &'static str,
+        at: SimTime,
+    },
+    Counter {
+        track: TrackId,
+        name: &'static str,
+        at: SimTime,
+        value: f64,
+    },
+}
+
+impl Record {
+    fn at(&self) -> SimTime {
+        match *self {
+            Record::Begin { at, .. }
+            | Record::End { at, .. }
+            | Record::Instant { at, .. }
+            | Record::Counter { at, .. } => at,
+        }
+    }
+}
+
+/// Summary statistics from [`TraceBuffer::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Records currently held in the ring.
+    pub records: usize,
+    /// `begin` records seen during validation.
+    pub spans: usize,
+    /// Spans begun but not ended within the retained records.
+    pub open: usize,
+    /// Records evicted by the ring since the buffer was created.
+    pub dropped: u64,
+}
+
+/// A bounded ring of span/instant/counter records over simulated time.
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    tracks: Vec<Track>,
+    records: VecDeque<Record>,
+    capacity: usize,
+    dropped: u64,
+    next_span: u64,
+    /// Open spans: id -> (track, name, parent).
+    open: BTreeMap<u64, (TrackId, &'static str, Option<SpanId>)>,
+}
+
+impl TraceBuffer {
+    /// Creates a buffer retaining at most `capacity` records (minimum 16).
+    pub fn new(capacity: usize) -> Self {
+        TraceBuffer {
+            tracks: Vec::new(),
+            records: VecDeque::new(),
+            capacity: capacity.max(16),
+            dropped: 0,
+            next_span: 0,
+            open: BTreeMap::new(),
+        }
+    }
+
+    /// Registers a track and returns its id.
+    pub fn add_track(&mut self, name: impl Into<String>, kind: TrackKind) -> TrackId {
+        let id = TrackId(self.tracks.len() as u32);
+        self.tracks.push(Track {
+            name: name.into(),
+            kind,
+        });
+        id
+    }
+
+    /// Number of registered tracks.
+    pub fn track_count(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// Records retained in the ring right now.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records evicted by the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Spans currently open (begun, not yet ended).
+    pub fn open_spans(&self) -> usize {
+        self.open.len()
+    }
+
+    fn push(&mut self, record: Record) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(record);
+    }
+
+    /// Opens a span on `track` at `at`, optionally nested under `parent`.
+    pub fn begin(
+        &mut self,
+        track: TrackId,
+        name: &'static str,
+        at: SimTime,
+        parent: Option<SpanId>,
+    ) -> SpanId {
+        let id = SpanId(self.next_span);
+        self.next_span += 1;
+        self.open.insert(id.0, (track, name, parent));
+        self.push(Record::Begin {
+            id,
+            parent,
+            track,
+            name,
+            at,
+        });
+        id
+    }
+
+    /// Closes the span `id` at `at`. Closing an unknown or already-closed
+    /// span still records the end (the ring may have evicted the begin);
+    /// [`TraceBuffer::validate`] flags it when nothing was dropped.
+    pub fn end(&mut self, id: SpanId, at: SimTime) {
+        self.open.remove(&id.0);
+        self.push(Record::End { id, at });
+    }
+
+    /// Records a point-in-time marker on `track`.
+    pub fn instant(&mut self, track: TrackId, name: &'static str, at: SimTime) {
+        self.push(Record::Instant { track, name, at });
+    }
+
+    /// Records a counter sample on `track`.
+    pub fn counter(&mut self, track: TrackId, name: &'static str, at: SimTime, value: f64) {
+        self.push(Record::Counter {
+            track,
+            name,
+            at,
+            value,
+        });
+    }
+
+    /// Closes every span still open at `at`, children before parents
+    /// (span ids grow monotonically, so descending id order is a valid
+    /// closing order for any forest recorded through this API).
+    pub fn finish(&mut self, at: SimTime) {
+        let open: Vec<u64> = self.open.keys().rev().copied().collect();
+        for id in open {
+            self.end(SpanId(id), at);
+        }
+    }
+
+    /// Checks the structural invariants of the retained records:
+    /// non-decreasing timestamps, every end matching an open begin, parents
+    /// open when children begin, and strict LIFO nesting on
+    /// [`TrackKind::Chip`] tracks. End/parent checks are skipped when the
+    /// ring has dropped records (the matching begins may be gone).
+    pub fn validate(&self) -> Result<TraceStats, String> {
+        let strict = self.dropped == 0;
+        let mut last = SimTime::ZERO;
+        let mut spans = 0usize;
+        // id -> (track, still open)
+        let mut seen: BTreeMap<u64, (TrackId, bool)> = BTreeMap::new();
+        let mut chip_stacks: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+        for (i, rec) in self.records.iter().enumerate() {
+            let at = rec.at();
+            if at < last {
+                return Err(format!(
+                    "record {i}: timestamp {} ps regresses below {} ps",
+                    at.as_ps(),
+                    last.as_ps()
+                ));
+            }
+            last = at;
+            match *rec {
+                Record::Begin {
+                    id, parent, track, ..
+                } => {
+                    spans += 1;
+                    if seen.insert(id.0, (track, true)).is_some() {
+                        return Err(format!("record {i}: span id {} reused", id.0));
+                    }
+                    if strict {
+                        if let Some(p) = parent {
+                            match seen.get(&p.0) {
+                                Some((_, true)) => {}
+                                Some((_, false)) => {
+                                    return Err(format!(
+                                        "record {i}: parent span {} already closed",
+                                        p.0
+                                    ));
+                                }
+                                None => {
+                                    return Err(format!(
+                                        "record {i}: parent span {} never began",
+                                        p.0
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    if self.track_kind(track) == Some(TrackKind::Chip) {
+                        chip_stacks.entry(track.0).or_default().push(id.0);
+                    }
+                }
+                Record::End { id, .. } => match seen.get_mut(&id.0) {
+                    Some((track, open)) => {
+                        if !*open {
+                            return Err(format!("record {i}: span {} ended twice", id.0));
+                        }
+                        *open = false;
+                        let track = *track;
+                        if self.track_kind(track) == Some(TrackKind::Chip) {
+                            let stack = chip_stacks.entry(track.0).or_default();
+                            if stack.pop() != Some(id.0) {
+                                return Err(format!(
+                                    "record {i}: span {} ends out of LIFO order on chip track {}",
+                                    id.0, track.0
+                                ));
+                            }
+                        }
+                    }
+                    None if strict => {
+                        return Err(format!(
+                            "record {i}: end for span {} that never began",
+                            id.0
+                        ));
+                    }
+                    None => {}
+                },
+                Record::Instant { .. } | Record::Counter { .. } => {}
+            }
+        }
+        let open = seen.values().filter(|(_, open)| *open).count();
+        Ok(TraceStats {
+            records: self.records.len(),
+            spans,
+            open,
+            dropped: self.dropped,
+        })
+    }
+
+    fn track_kind(&self, track: TrackId) -> Option<TrackKind> {
+        self.tracks.get(track.0 as usize).map(|t| t.kind)
+    }
+
+    /// Exports the Chrome `trace_event` JSON that Perfetto and
+    /// `chrome://tracing` open directly. One event per line inside the
+    /// `traceEvents` array; byte-identical for identical record sequences.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        let mut any = false;
+        let push = |out: &mut String, line: String, any: &mut bool| {
+            if *any {
+                out.push_str(",\n");
+            }
+            *any = true;
+            out.push_str(&line);
+        };
+        for (i, track) in self.tracks.iter().enumerate() {
+            let mut args = JsonObject::new();
+            args.field_str("name", &track.name);
+            let mut obj = JsonObject::new();
+            obj.field_str("name", "process_name")
+                .field_str("ph", "M")
+                .field_u64("pid", i as u64 + 1)
+                .field_raw("args", &args.finish());
+            push(&mut out, obj.finish(), &mut any);
+        }
+        // Resolve each span id to its name, track, and root ancestor so
+        // end events (and async keys) can be emitted without re-scanning.
+        let mut info: BTreeMap<u64, (TrackId, &'static str, u64)> = BTreeMap::new();
+        for rec in &self.records {
+            if let Record::Begin {
+                id,
+                parent,
+                track,
+                name,
+                ..
+            } = *rec
+            {
+                let root = parent
+                    .and_then(|p| info.get(&p.0).map(|&(_, _, root)| root))
+                    .unwrap_or(id.0);
+                info.insert(id.0, (track, name, root));
+            }
+        }
+        for rec in &self.records {
+            let line = match *rec {
+                Record::Begin {
+                    id,
+                    track,
+                    name,
+                    at,
+                    ..
+                } => {
+                    let mut obj = JsonObject::new();
+                    obj.field_str("name", name);
+                    match self.track_kind(track) {
+                        Some(TrackKind::Bus) => {
+                            let root = info.get(&id.0).map(|&(_, _, r)| r).unwrap_or(id.0);
+                            obj.field_str("cat", "transfer")
+                                .field_str("ph", "b")
+                                .field_str("id", &format!("{root:#x}"));
+                        }
+                        _ => {
+                            obj.field_str("cat", "chip").field_str("ph", "B");
+                        }
+                    }
+                    self.stamp(&mut obj, track, at);
+                    obj.finish()
+                }
+                Record::End { id, at } => {
+                    let Some(&(track, name, root)) = info.get(&id.0) else {
+                        // The begin was evicted from the ring; without it
+                        // the end has no track/name to render under.
+                        continue;
+                    };
+                    let mut obj = JsonObject::new();
+                    obj.field_str("name", name);
+                    match self.track_kind(track) {
+                        Some(TrackKind::Bus) => {
+                            obj.field_str("cat", "transfer")
+                                .field_str("ph", "e")
+                                .field_str("id", &format!("{root:#x}"));
+                        }
+                        _ => {
+                            obj.field_str("cat", "chip").field_str("ph", "E");
+                        }
+                    }
+                    self.stamp(&mut obj, track, at);
+                    obj.finish()
+                }
+                Record::Instant { track, name, at } => {
+                    let mut obj = JsonObject::new();
+                    obj.field_str("name", name)
+                        .field_str("ph", "i")
+                        .field_str("s", "t");
+                    self.stamp(&mut obj, track, at);
+                    obj.finish()
+                }
+                Record::Counter {
+                    track,
+                    name,
+                    at,
+                    value,
+                } => {
+                    let mut args = JsonObject::new();
+                    args.field_f64("value", value);
+                    let mut obj = JsonObject::new();
+                    obj.field_str("name", name).field_str("ph", "C");
+                    self.stamp(&mut obj, track, at);
+                    obj.field_raw("args", &args.finish());
+                    obj.finish()
+                }
+            };
+            push(&mut out, line, &mut any);
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Appends the shared `ts`/`pid`/`tid` fields for a record on `track`.
+    fn stamp(&self, obj: &mut JsonObject, track: TrackId, at: SimTime) {
+        obj.field_f64("ts", at.as_ps() as f64 / 1e6)
+            .field_u64("pid", track.0 as u64 + 1)
+            .field_u64("tid", 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ps: u64) -> SimTime {
+        SimTime::from_ps(ps)
+    }
+
+    #[test]
+    fn spans_balance_and_validate() {
+        let mut buf = TraceBuffer::new(1024);
+        let chip = buf.add_track("chip 0", TrackKind::Chip);
+        let bus = buf.add_track("bus 0", TrackKind::Bus);
+        let root = buf.begin(bus, "transfer", t(0), None);
+        let child = buf.begin(bus, "wakeup", t(10), Some(root));
+        let act = buf.begin(chip, "serving", t(20), None);
+        buf.counter(chip, "power_mw", t(20), 300.0);
+        buf.end(act, t(30));
+        buf.end(child, t(30));
+        buf.instant(bus, "released", t(30));
+        buf.end(root, t(40));
+        let stats = buf.validate().expect("valid trace");
+        assert_eq!(stats.spans, 3);
+        assert_eq!(stats.open, 0);
+        assert_eq!(stats.dropped, 0);
+    }
+
+    #[test]
+    fn finish_closes_children_before_parents() {
+        let mut buf = TraceBuffer::new(64);
+        let bus = buf.add_track("bus 0", TrackKind::Bus);
+        let root = buf.begin(bus, "transfer", t(0), None);
+        let _child = buf.begin(bus, "drain", t(5), Some(root));
+        assert_eq!(buf.open_spans(), 2);
+        buf.finish(t(9));
+        assert_eq!(buf.open_spans(), 0);
+        let stats = buf.validate().expect("valid trace");
+        assert_eq!(stats.open, 0);
+    }
+
+    #[test]
+    fn timestamp_regression_is_an_error() {
+        let mut buf = TraceBuffer::new(64);
+        let chip = buf.add_track("chip 0", TrackKind::Chip);
+        buf.instant(chip, "a", t(100));
+        buf.instant(chip, "b", t(50));
+        assert!(buf.validate().is_err());
+    }
+
+    #[test]
+    fn chip_spans_must_nest_lifo() {
+        let mut buf = TraceBuffer::new(64);
+        let chip = buf.add_track("chip 0", TrackKind::Chip);
+        let a = buf.begin(chip, "serving", t(0), None);
+        let b = buf.begin(chip, "active_idle", t(1), None);
+        buf.end(a, t(2)); // closes a before b: out of LIFO order
+        buf.end(b, t(3));
+        assert!(buf.validate().is_err());
+    }
+
+    #[test]
+    fn bus_spans_may_overlap() {
+        let mut buf = TraceBuffer::new(64);
+        let bus = buf.add_track("bus 0", TrackKind::Bus);
+        let a = buf.begin(bus, "transfer", t(0), None);
+        let b = buf.begin(bus, "transfer", t(1), None);
+        buf.end(a, t(2));
+        buf.end(b, t(3));
+        assert!(buf.validate().is_ok());
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_relaxes_validation() {
+        let mut buf = TraceBuffer::new(16);
+        let chip = buf.add_track("chip 0", TrackKind::Chip);
+        for i in 0..40 {
+            let s = buf.begin(chip, "serving", t(i * 2), None);
+            buf.end(s, t(i * 2 + 1));
+        }
+        assert_eq!(buf.len(), 16);
+        assert_eq!(buf.dropped(), 64); // 80 records, 16 retained
+        let stats = buf.validate().expect("drop-relaxed validation");
+        assert_eq!(stats.dropped, 64);
+    }
+
+    #[test]
+    fn double_end_is_an_error() {
+        let mut buf = TraceBuffer::new(64);
+        let chip = buf.add_track("chip 0", TrackKind::Chip);
+        let a = buf.begin(chip, "serving", t(0), None);
+        buf.end(a, t(1));
+        buf.end(a, t(2));
+        assert!(buf.validate().is_err());
+    }
+
+    #[test]
+    fn chrome_export_shape() {
+        let mut buf = TraceBuffer::new(64);
+        let chip = buf.add_track("chip 0", TrackKind::Chip);
+        let bus = buf.add_track("io bus 0", TrackKind::Bus);
+        let root = buf.begin(bus, "transfer", t(1_000_000), None);
+        let child = buf.begin(bus, "wakeup", t(2_000_000), Some(root));
+        let act = buf.begin(chip, "serving", t(2_000_000), None);
+        buf.counter(chip, "power_mw", t(2_000_000), 300.0);
+        buf.end(act, t(3_000_000));
+        buf.end(child, t(3_000_000));
+        buf.end(root, t(4_000_000));
+        let json = buf.to_chrome_json();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"));
+        assert!(json.contains(r#""ph":"M""#));
+        assert!(json.contains(r#""name":"io bus 0""#));
+        assert!(json.contains(r#""ph":"b""#));
+        assert!(json.contains(r#""ph":"e""#));
+        assert!(json.contains(r#""ph":"B""#));
+        assert!(json.contains(r#""ph":"E""#));
+        assert!(json.contains(r#""ph":"C""#));
+        // Child async events carry the root's id.
+        assert_eq!(json.matches(r#""id":"0x0""#).count(), 4);
+        // Timestamps are microseconds.
+        assert!(json.contains(r#""ts":1"#));
+        // Deterministic: a second export is byte-identical.
+        assert_eq!(json, buf.to_chrome_json());
+    }
+
+    #[test]
+    fn export_skips_ends_with_evicted_begins() {
+        let mut buf = TraceBuffer::new(16);
+        let chip = buf.add_track("chip 0", TrackKind::Chip);
+        let mut ids = Vec::new();
+        for i in 0..20 {
+            ids.push(buf.begin(chip, "serving", t(i), None));
+        }
+        for (i, id) in ids.into_iter().enumerate() {
+            buf.end(id, t(100 + i as u64));
+        }
+        // Some begins were evicted; export must not panic and stays valid JSON.
+        let json = buf.to_chrome_json();
+        assert!(json.ends_with("]}\n"));
+    }
+}

@@ -1,18 +1,21 @@
 //! The registered observability key table, parsed out of
 //! `crates/dmamem/src/obs.rs` so the `obs-key` rule checks against the
-//! same source of truth the engine registers from (the `METRIC_KEYS`
-//! and `EVENT_KINDS` consts; dmamem's own unit tests pin those consts
-//! to the actual registrations).
+//! same source of truth the engine registers from (the `METRIC_KEYS`,
+//! `EVENT_KINDS`, and `TRACE_KEYS` consts; dmamem's own unit tests pin
+//! those consts to the actual registrations).
 
 use std::collections::BTreeSet;
 
-/// Registered metric keys and event kinds.
+/// Registered metric keys, event kinds, and trace span/counter names.
 #[derive(Debug, Clone, Default)]
 pub struct KeyTable {
     /// Every `dmamem.*` metric key the engine registers.
     pub metric_keys: BTreeSet<String>,
     /// Every event `kind` tag the engine emits.
     pub event_kinds: BTreeSet<String>,
+    /// Every `dmamem.trace.*` span, marker, and counter name the causal
+    /// tracer emits.
+    pub trace_keys: BTreeSet<String>,
 }
 
 impl KeyTable {
@@ -23,6 +26,7 @@ impl KeyTable {
         Ok(KeyTable {
             metric_keys: const_literals(source, "METRIC_KEYS")?,
             event_kinds: const_literals(source, "EVENT_KINDS")?,
+            trace_keys: const_literals(source, "TRACE_KEYS")?,
         })
     }
 }
@@ -62,20 +66,27 @@ pub const METRIC_KEYS: &[&str] = &[
     "dmamem.sleeps",
 ];
 pub const EVENT_KINDS: &[&str] = &["mode_transition", "epoch_tick"];
+pub const TRACE_KEYS: &[&str] = &["dmamem.trace.transfer", "dmamem.trace.wakeup"];
 "#;
 
     #[test]
-    fn parses_both_consts() {
+    fn parses_all_consts() {
         let t = KeyTable::from_obs_source(SAMPLE).unwrap();
         assert!(t.metric_keys.contains("dmamem.wakes"));
         assert!(t.metric_keys.contains("dmamem.sleeps"));
         assert_eq!(t.metric_keys.len(), 2);
         assert!(t.event_kinds.contains("epoch_tick"));
         assert_eq!(t.event_kinds.len(), 2);
+        assert!(t.trace_keys.contains("dmamem.trace.wakeup"));
+        assert_eq!(t.trace_keys.len(), 2);
     }
 
     #[test]
     fn missing_const_is_an_error() {
         assert!(KeyTable::from_obs_source("nothing here").is_err());
+        // A source with metric keys but no TRACE_KEYS is also incomplete.
+        let partial = "pub const METRIC_KEYS: &[&str] = &[\"dmamem.wakes\"];\n\
+                       pub const EVENT_KINDS: &[&str] = &[\"epoch_tick\"];";
+        assert!(KeyTable::from_obs_source(partial).is_err());
     }
 }

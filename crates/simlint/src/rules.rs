@@ -276,7 +276,8 @@ fn has_index_expr(code: &str) -> bool {
 }
 
 /// `dmamem.*` tokens inside a string literal that are not registered
-/// metric keys, plus `"kind":"…"` tags not in the event-kind table.
+/// metric keys (`dmamem.trace.*` tokens check against the trace-key
+/// table instead), plus `"kind":"…"` tags not in the event-kind table.
 fn bad_obs_keys(lit: &str, keys: &KeyTable) -> Vec<String> {
     let norm = lit.replace("\\\"", "\"");
     let mut bad = Vec::new();
@@ -288,7 +289,17 @@ fn bad_obs_keys(lit: &str, keys: &KeyTable) -> Vec<String> {
             .collect();
         rest = &rest[at + token.len().max(7)..];
         let token = token.trim_end_matches('.');
-        if token != "dmamem" && !keys.metric_keys.contains(token) {
+        // Bare namespace mentions ("dmamem", "dmamem.trace") are prose,
+        // not keys.
+        if token == "dmamem" || token == "dmamem.trace" {
+            continue;
+        }
+        let table = if token.starts_with("dmamem.trace.") {
+            &keys.trace_keys
+        } else {
+            &keys.metric_keys
+        };
+        if !table.contains(token) {
             bad.push(token.to_string());
         }
     }
@@ -540,6 +551,7 @@ mod tests {
         let mut t = KeyTable::default();
         t.metric_keys.insert("dmamem.wakes".into());
         t.event_kinds.insert("epoch_tick".into());
+        t.trace_keys.insert("dmamem.trace.wakeup".into());
         t
     }
 
@@ -672,6 +684,22 @@ fn g() { let s: std::collections::HashSet<u8> = Default::default(); } // simlint
             .any(|f| f.rule == "obs-key"));
         let good_kind = "fn t() { assert!(l.contains(r#\"\"kind\":\"epoch_tick\"\"#)); }\n";
         assert!(lint("crates/dmamem/src/obs.rs", good_kind).is_empty());
+    }
+
+    #[test]
+    fn obs_key_routes_trace_namespace_to_trace_table() {
+        // Registered trace key passes; unregistered one denies even
+        // though the metric table would never contain it.
+        let good = "fn t() { assert!(json.contains(\"dmamem.trace.wakeup\")); }\n";
+        assert!(lint("crates/bench/tests/x.rs", good).is_empty());
+        // simlint::allow(obs-key, "deliberately unregistered trace key: negative test input")
+        let bad = "fn t() { assert!(json.contains(\"dmamem.trace.wakeups\")); }\n";
+        assert!(lint("crates/bench/tests/x.rs", bad)
+            .iter()
+            .any(|f| f.rule == "obs-key"));
+        // The bare namespace is prose, not a key.
+        let prose = "// spans live under the dmamem.trace namespace\nfn t() {}\n";
+        assert!(lint("crates/bench/tests/x.rs", prose).is_empty());
     }
 
     #[test]

@@ -13,6 +13,7 @@ fn table() -> KeyTable {
     let mut t = KeyTable::default();
     t.metric_keys.insert("dmamem.wakes".into());
     t.event_kinds.insert("epoch_tick".into());
+    t.trace_keys.insert("dmamem.trace.wakeup".into());
     t
 }
 

@@ -2,3 +2,6 @@
 pub fn check(line: &str) -> bool {
     line.contains("dmamem.wakes") && line.contains(r#""kind":"epoch_tick""#)
 }
+pub fn check_trace(json: &str) -> bool {
+    json.contains("dmamem.trace.wakeup")
+}

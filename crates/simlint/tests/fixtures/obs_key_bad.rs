@@ -3,3 +3,6 @@
 pub fn check(line: &str) -> bool {
     line.contains("dmamem.wakse") && line.contains(r#""kind":"epoch_tik""#)
 }
+pub fn check_trace(json: &str) -> bool {
+    json.contains("dmamem.trace.wakeups")
+}

@@ -17,6 +17,16 @@
 //! serially and in parallel and writes the comparison as JSON (the
 //! committed `BENCH_sweep.json` baseline).
 //!
+//! Engine self-profiling flags: `--prof-out FILE` writes the engine
+//! profile of everything the run executed — deterministic hot-path
+//! counters (events dispatched, heap pushes/pops, max calendar depth,
+//! transfers, requests, memo/trace-cache hits per figure) plus wall-clock
+//! events/sec — as JSON (the committed `BENCH_engine.json` baseline the
+//! `perf_diff` gate compares against); its confirmation goes to stderr so
+//! stdout stays byte-identical with and without profiling. Per-figure
+//! attribution requires a per-figure exhibit or `all`. `--prof-summary`
+//! prints the same profile as a table with a wall-clock phase breakdown.
+//!
 //! Observability flags add an instrumented DMA-TA-PL(2) run on OLTP-St:
 //! `--events-out FILE` exports its structured event stream as JSONL,
 //! `--metrics-out FILE` writes the metrics-registry snapshot as JSON, and
@@ -57,6 +67,8 @@ fn main() -> ExitCode {
     let mut events_out: Option<PathBuf> = None;
     let mut metrics_out: Option<PathBuf> = None;
     let mut obs_summary = false;
+    let mut prof_out: Option<PathBuf> = None;
+    let mut prof_summary = false;
     let mut trace_out: Option<PathBuf> = None;
     let mut attrib_out: Option<PathBuf> = None;
     let mut attrib_summary = false;
@@ -97,6 +109,11 @@ fn main() -> ExitCode {
                 None => return usage("--metrics-out needs a file"),
             },
             "--obs-summary" => obs_summary = true,
+            "--prof-out" => match args.next() {
+                Some(f) => prof_out = Some(PathBuf::from(f)),
+                None => return usage("--prof-out needs a file"),
+            },
+            "--prof-summary" => prof_summary = true,
             "--trace-out" => match args.next() {
                 Some(f) => trace_out = Some(PathBuf::from(f)),
                 None => return usage("--trace-out needs a file"),
@@ -120,6 +137,11 @@ fn main() -> ExitCode {
         seed,
     };
     let mut runner = SweepRunner::new(threads);
+    if prof_out.is_some() || prof_summary {
+        // Arms the wall-clock phase timers; deterministic counters are
+        // always collected and results stay byte-identical either way.
+        runner = runner.with_profiling(true);
+    }
 
     if let Some(dir) = &csv_dir {
         if let Err(e) = fs::create_dir_all(dir) {
@@ -381,6 +403,24 @@ fn main() -> ExitCode {
         println!("(timing baseline written to {})", path.display());
     }
 
+    if prof_out.is_some() || prof_summary {
+        matched = true;
+        let report = bench::perf_report::EngineReport::from_runner(&runner, ms as f64, seed);
+        if prof_summary {
+            section("Engine profile: hot-path counters and throughput");
+            print!("{}", report.summary());
+        }
+        if let Some(path) = &prof_out {
+            if let Err(e) = fs::write(path, report.to_json()) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            // Confirmation on stderr: --prof-out must leave stdout
+            // byte-identical to an unprofiled run.
+            eprintln!("(engine profile written to {})", path.display());
+        }
+    }
+
     if !matched {
         return usage(&format!("unknown exhibit {exhibit:?}"));
     }
@@ -401,7 +441,7 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: experiments [table1|table2|fig2a|fig2b|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|groups|tpch|trace-report|all] [--ms N] [--seed S] [--threads N] [--quick] [--csv DIR] [--timing-out FILE] [--events-out FILE] [--metrics-out FILE] [--obs-summary] [--trace-out FILE] [--attrib-out FILE] [--attrib-summary] [--check]"
+        "usage: experiments [table1|table2|fig2a|fig2b|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|groups|tpch|trace-report|all] [--ms N] [--seed S] [--threads N] [--quick] [--csv DIR] [--timing-out FILE] [--prof-out FILE] [--prof-summary] [--events-out FILE] [--metrics-out FILE] [--obs-summary] [--trace-out FILE] [--attrib-out FILE] [--attrib-summary] [--check]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

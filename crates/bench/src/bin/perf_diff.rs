@@ -1,0 +1,88 @@
+//! Engine perf-regression gate.
+//!
+//! ```text
+//! perf_diff BASELINE.json CURRENT.json [--rate-tol F]
+//! ```
+//!
+//! Compares two engine self-profiling reports (as written by
+//! `experiments all --prof-out`, i.e. the committed `BENCH_engine.json`)
+//! and exits non-zero when **any deterministic counter drifted** —
+//! events dispatched, heap pushes/pops, max calendar depth, transfers,
+//! requests, sims, memo/trace-cache hits, or per-phase call counts. A
+//! moved counter means the engine did different work; re-record the
+//! baseline deliberately instead of letting it slide. Wall-clock
+//! throughput (`events_per_sec`) regressions beyond the tolerance
+//! (default 0.30) only print a WARN — they never fail the gate, because
+//! they depend on the host.
+
+use std::env;
+use std::fs;
+use std::process::ExitCode;
+
+use bench::perf_diff::{diff, DEFAULT_RATE_TOLERANCE};
+
+fn main() -> ExitCode {
+    let mut files = Vec::new();
+    let mut tol = DEFAULT_RATE_TOLERANCE;
+    let mut args = env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--rate-tol" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v >= 0.0 => tol = v,
+                _ => return usage("--rate-tol needs a non-negative number"),
+            },
+            "--help" | "-h" => return usage(""),
+            other if !other.starts_with('-') => files.push(other.to_string()),
+            other => return usage(&format!("unknown flag {other}")),
+        }
+    }
+    let [baseline_path, current_path] = files.as_slice() else {
+        return usage("expected exactly two report files");
+    };
+    let read = |path: &str| match fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(baseline), Some(current)) = (read(baseline_path), read(current_path)) else {
+        return ExitCode::FAILURE;
+    };
+    match diff(&baseline, &current, tol) {
+        Ok(report) => {
+            print!("{}", report.render());
+            let warns = report.warnings().len();
+            if report.passed() {
+                println!(
+                    "perf_diff: {} deterministic counters identical, {warns} throughput warnings",
+                    report.counters.len()
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "perf_diff: {} of {} deterministic counters drifted — engine behaviour changed",
+                    report.failures().len(),
+                    report.counters.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("perf_diff: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: perf_diff BASELINE.json CURRENT.json [--rate-tol F]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -12,6 +12,8 @@ use dmamem::experiments::{
 };
 use mempower::{EnergyBreakdown, EnergyCategory};
 
+pub mod perf_diff;
+pub mod perf_report;
 pub mod sweep;
 pub mod trace_diff;
 
@@ -200,6 +202,15 @@ pub fn obs_summary_table(run: &experiments::ObservedRun) -> String {
         "guarantee recorded {} | replayed-from-ledger {} (ledger {ledger})\n",
         verdict(r.guarantee_met(run.t_ref)),
         verdict(replay.guarantee_met(run.t_ref))
+    ));
+    out.push_str(&format!(
+        "engine    {} events dispatched, heap {}/{} push/pop (max depth {}), {} transfers, {} requests\n",
+        r.profile.events,
+        r.profile.heap_pushes,
+        r.profile.heap_pops,
+        r.profile.max_heap_depth,
+        r.profile.transfers,
+        r.profile.requests
     ));
     if let Some(h) = m.histograms.get("span.engine_dispatch_ns") {
         let mean = if h.count == 0 {

@@ -18,18 +18,29 @@ use dmamem::experiments::{
     self, ExpConfig, Fig10Row, Fig5Row, Fig7Row, Fig8Row, Fig9Row, GroupAblationRow, ObservedRun,
     TpchRow, TracedRun, Workload,
 };
-use dmamem::sweep::{MemoStats, SweepCtx};
+use dmamem::sweep::{MemoStats, ProfTotals, SweepCtx};
 use mempower::EnergyBreakdown;
 
 use crate::{ALL_WORKLOADS, BUS_RATE_SWEEP, CP_SWEEP, INTENSITY_SWEEP, PROC_SWEEP};
 
-/// Wall-clock time of one figure run.
+/// Wall-clock time and engine accounting of one figure run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FigTime {
     /// Exhibit name (`fig5`, `groups`, ...).
     pub figure: String,
     /// Wall-clock milliseconds the figure took on the runner's context.
     pub ms: f64,
+    /// Memoized results this figure consumed (hits during this figure).
+    pub memo_hits: u64,
+    /// Simulations this figure actually executed.
+    pub memo_misses: u64,
+    /// Traces this figure read back from the trace cache.
+    pub trace_hits: u64,
+    /// Traces this figure generated.
+    pub trace_misses: u64,
+    /// Engine self-profile accumulated during this figure (deterministic
+    /// counters; `max_heap_depth` is the per-figure window max).
+    pub prof: ProfTotals,
 }
 
 /// A sweep context plus per-figure wall-clock accounting.
@@ -45,6 +56,14 @@ impl SweepRunner {
             ctx: SweepCtx::new(threads),
             timings: Vec::new(),
         }
+    }
+
+    /// Arms wall-clock phase timers on every simulation (deterministic
+    /// profile counters are collected either way; results stay
+    /// bit-identical — see [`dmamem::sweep::SweepCtx::with_profiling`]).
+    pub fn with_profiling(mut self, on: bool) -> Self {
+        self.ctx = self.ctx.with_profiling(on);
+        self
     }
 
     /// The underlying sweep context.
@@ -70,11 +89,23 @@ impl SweepRunner {
     /// Times `run` against the runner's context and records it under
     /// `figure`.
     pub fn timed<T>(&mut self, figure: &str, run: impl FnOnce(&SweepCtx) -> T) -> T {
+        let memo_before = self.ctx.memo_stats();
+        let prof_before = self.ctx.prof_totals();
+        self.ctx.take_window_max_depth(); // reset the per-figure window
         let start = Instant::now();
         let out = run(&self.ctx);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let memo = self.ctx.memo_stats();
+        let mut prof = self.ctx.prof_totals().since(&prof_before);
+        prof.max_heap_depth = self.ctx.take_window_max_depth();
         self.timings.push(FigTime {
             figure: figure.to_string(),
-            ms: start.elapsed().as_secs_f64() * 1e3,
+            ms,
+            memo_hits: memo.hits - memo_before.hits,
+            memo_misses: memo.misses - memo_before.misses,
+            trace_hits: memo.trace_hits - memo_before.trace_hits,
+            trace_misses: memo.trace_misses - memo_before.trace_misses,
+            prof,
         });
         out
     }
@@ -194,6 +225,12 @@ pub struct FigComparison {
     pub serial_ms: f64,
     /// Wall-clock on the parallel context, milliseconds.
     pub parallel_ms: f64,
+    /// Memoized results this figure consumed on the parallel context
+    /// (the serial context's counts are identical by construction:
+    /// dedup order is deterministic).
+    pub memo_hits: u64,
+    /// Simulations this figure executed on the parallel context.
+    pub memo_misses: u64,
 }
 
 impl FigComparison {
@@ -257,11 +294,13 @@ impl TimingReport {
         out.push_str("  \"figures\": [\n");
         for (i, f) in self.figures.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"figure\": \"{}\", \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}}}{}\n",
+                "    {{\"figure\": \"{}\", \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}, \"memo_hits\": {}, \"memo_misses\": {}}}{}\n",
                 f.figure,
                 f.serial_ms,
                 f.parallel_ms,
                 f.speedup(),
+                f.memo_hits,
+                f.memo_misses,
                 if i + 1 < self.figures.len() { "," } else { "" }
             ));
         }
@@ -286,22 +325,27 @@ impl TimingReport {
     /// Renders the report as the markdown timing table `EXPERIMENTS.md`
     /// embeds.
     pub fn to_markdown_table(&self) -> String {
-        let mut out = String::from("| figure | serial (ms) | parallel (ms) | speedup |\n");
-        out.push_str("|---|---:|---:|---:|\n");
+        let mut out =
+            String::from("| figure | serial (ms) | parallel (ms) | speedup | memo (hit/miss) |\n");
+        out.push_str("|---|---:|---:|---:|---:|\n");
         for f in &self.figures {
             out.push_str(&format!(
-                "| {} | {:.1} | {:.1} | {:.2}x |\n",
+                "| {} | {:.1} | {:.1} | {:.2}x | {}/{} |\n",
                 f.figure,
                 f.serial_ms,
                 f.parallel_ms,
-                f.speedup()
+                f.speedup(),
+                f.memo_hits,
+                f.memo_misses
             ));
         }
         out.push_str(&format!(
-            "| **total** | **{:.1}** | **{:.1}** | **{:.2}x** |\n",
+            "| **total** | **{:.1}** | **{:.1}** | **{:.2}x** | **{}/{}** |\n",
             self.serial_total_ms(),
             self.parallel_total_ms(),
-            self.speedup()
+            self.speedup(),
+            self.memo.hits,
+            self.memo.misses
         ));
         out
     }
@@ -321,10 +365,17 @@ pub fn timing_report(exp: ExpConfig, threads: usize) -> TimingReport {
         .zip(parallel.timings())
         .map(|(s, p)| {
             debug_assert_eq!(s.figure, p.figure);
+            debug_assert_eq!(
+                (s.memo_hits, s.memo_misses),
+                (p.memo_hits, p.memo_misses),
+                "memo accounting must not depend on thread count"
+            );
             FigComparison {
                 figure: s.figure.clone(),
                 serial_ms: s.ms,
                 parallel_ms: p.ms,
+                memo_hits: p.memo_hits,
+                memo_misses: p.memo_misses,
             }
         })
         .collect();
@@ -361,6 +412,19 @@ mod tests {
         assert!(after.hits > after_fig5.hits);
         assert_eq!(after.trace_misses, 1, "one OLTP-St trace generated");
         assert_eq!(runner.timings().len(), 3);
+        // Per-figure attribution: fig6/fig7 consumed the memo without
+        // executing anything, and fig5's engine work is on its row.
+        let [fig5, fig6, fig7] = runner.timings() else {
+            panic!("three timings")
+        };
+        assert!(fig5.memo_misses > 0 && fig5.prof.events > 0);
+        assert_eq!(fig5.prof.sims, fig5.memo_misses);
+        assert!(fig5.prof.max_heap_depth > 0);
+        for f in [fig6, fig7] {
+            assert_eq!(f.memo_misses, 0, "{}", f.figure);
+            assert!(f.memo_hits > 0, "{}", f.figure);
+            assert_eq!((f.prof.sims, f.prof.events), (0, 0), "{}", f.figure);
+        }
     }
 
     #[test]
@@ -375,11 +439,15 @@ mod tests {
                     figure: "fig5".into(),
                     serial_ms: 100.0,
                     parallel_ms: 40.0,
+                    memo_hits: 2,
+                    memo_misses: 3,
                 },
                 FigComparison {
                     figure: "fig7".into(),
                     serial_ms: 10.0,
                     parallel_ms: 10.0,
+                    memo_hits: 5,
+                    memo_misses: 0,
                 },
             ],
             memo: MemoStats {
@@ -395,8 +463,10 @@ mod tests {
         assert!(json.contains("\"speedup\": 2.200"));
         assert!(json.contains("\"figure\": \"fig5\""));
         assert!(json.contains("\"misses\": 3"));
+        assert!(json.contains("\"memo_hits\": 2, \"memo_misses\": 3"));
         let table = report.to_markdown_table();
-        assert!(table.contains("| fig5 | 100.0 | 40.0 | 2.50x |"));
+        assert!(table.contains("| fig5 | 100.0 | 40.0 | 2.50x | 2/3 |"));
         assert!(table.contains("**2.20x**"));
+        assert!(table.contains("**7/3**"));
     }
 }

@@ -1,6 +1,8 @@
-//! Byte-identity of the *rendered* figure tables across thread counts —
-//! the exact artifact the `experiments` binary prints.
+//! Byte-identity of the *rendered* figure tables across thread counts
+//! and with engine profiling on or off — the exact artifact the
+//! `experiments` binary prints.
 
+use bench::perf_report::EngineReport;
 use bench::sweep::{run_figure_matrix, SweepRunner};
 use bench::{fig5_table, fig7_table, fig8_table, table2_rows_text};
 use dmamem::experiments::{ExpConfig, Workload};
@@ -44,4 +46,67 @@ fn figure_matrix_runs_and_records_timings() {
         "expected cross-figure memo hits, got {stats:?}"
     );
     assert!(stats.trace_hits >= 3, "traces were regenerated: {stats:?}");
+}
+
+#[test]
+fn rendered_tables_byte_identical_with_profiling_on_or_off() {
+    let exp = ExpConfig::quick();
+    let render = |profiled: bool| {
+        let mut runner = SweepRunner::new(2).with_profiling(profiled);
+        let mut out = String::new();
+        out.push_str(&fig5_table(&runner.fig5(exp, &[Workload::OltpSt], &[0.10])));
+        out.push_str(&fig7_table(&runner.fig7(exp, &[0.05, 0.10])));
+        out
+    };
+    assert_eq!(
+        render(false),
+        render(true),
+        "arming the profiler changed a rendered table"
+    );
+}
+
+#[test]
+fn engine_report_rows_follow_matrix_order() {
+    let mut runner = SweepRunner::new(2).with_profiling(true);
+    run_figure_matrix(&mut runner, ExpConfig::quick());
+    let report = EngineReport::from_runner(&runner, 2.0, 42);
+    let names: Vec<&str> = report.rows.iter().map(|r| r.figure.as_str()).collect();
+    assert_eq!(
+        names,
+        ["table2", "fig2b", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "groups", "tpch"]
+    );
+    // Every figure that simulated anything reports a throughput; figures
+    // fully served from the memo report zero events and zero rate.
+    for r in &report.rows {
+        if r.prof.sims > 0 {
+            assert!(r.prof.events > 0, "{}: sims without events", r.figure);
+            assert!(r.events_per_sec() > 0.0, "{}: no throughput", r.figure);
+            assert!(r.prof.max_heap_depth > 0, "{}: empty calendar", r.figure);
+        } else {
+            assert_eq!(
+                (r.prof.events, r.events_per_sec() as u64),
+                (0, 0),
+                "{}",
+                r.figure
+            );
+        }
+    }
+    // Rows decompose the lifetime totals exactly (deterministic fields).
+    let totals = &report.totals;
+    let sum =
+        |f: fn(&bench::perf_report::EngineRow) -> u64| -> u64 { report.rows.iter().map(f).sum() };
+    assert_eq!(sum(|r| r.prof.events), totals.events);
+    assert_eq!(sum(|r| r.prof.sims), totals.sims);
+    assert_eq!(sum(|r| r.prof.heap_pushes), totals.heap_pushes);
+    assert_eq!(sum(|r| r.prof.requests), totals.requests);
+    // The profiled matrix timed every simulation it actually ran.
+    assert_eq!(totals.timed_sims, totals.sims);
+    assert!(totals.phase_ns.iter().sum::<u64>() > 0);
+    // The JSON baseline renders one events_per_sec per figure row plus
+    // the totals line — the committed-artifact acceptance shape.
+    let json = report.to_json();
+    assert_eq!(
+        json.matches("\"events_per_sec\"").count(),
+        report.rows.len() + 1
+    );
 }

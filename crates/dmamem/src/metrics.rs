@@ -3,7 +3,7 @@
 use mempower::{EnergyBreakdown, EnergyCategory, ModeResidency};
 use simcore::obs::trace::TraceBuffer;
 use simcore::stats::DurationStats;
-use simcore::SimDuration;
+use simcore::{EngineProfile, SimDuration};
 
 use crate::obs::{RunObs, SlackSummary};
 use crate::timeline::TimelineRecorder;
@@ -67,6 +67,10 @@ pub struct SimResult {
     /// Causal span trace, if tracing was requested (see
     /// [`crate::ServerSimulator::with_tracing`]).
     pub trace: Option<TraceBuffer>,
+    /// Engine self-profile: deterministic hot-path counters (always
+    /// collected) plus wall-clock phase ns when
+    /// [`crate::ServerSimulator::with_profiling`] armed them.
+    pub profile: EngineProfile,
 }
 
 impl SimResult {
@@ -215,6 +219,7 @@ mod tests {
             obs: None,
             timeline: None,
             trace: None,
+            profile: EngineProfile::default(),
         }
     }
 

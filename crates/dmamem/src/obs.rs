@@ -56,6 +56,23 @@ pub const METRIC_KEYS: &[&str] = &[
     "dmamem.request_service_ns",
 ];
 
+/// Every engine self-profiling metric key, in registration order — the
+/// deterministic counters of [`simcore::EngineProfile`], published into
+/// the metrics snapshot at end of run (see [`Obs::publish_prof`]).
+/// Wall-clock phase timings are deliberately *not* published: the
+/// snapshot must stay byte-identical whether profiling is armed or not.
+/// The `prof_keys_match_publication` test pins this list to what
+/// [`Obs::publish_prof`] actually writes; the simlint `obs-key` rule
+/// checks `dmamem.prof.*` string literals against it.
+pub const PROF_KEYS: &[&str] = &[
+    "dmamem.prof.events",
+    "dmamem.prof.heap_pushes",
+    "dmamem.prof.heap_pops",
+    "dmamem.prof.heap_depth_max",
+    "dmamem.prof.transfers",
+    "dmamem.prof.requests",
+];
+
 /// Every event `kind` tag a [`SimEvent`] can serialize as; the simlint
 /// `obs-key` rule checks `"kind":"…"` literals (e.g. in JSONL
 /// assertions) against this table. Pinned to [`ObsEvent::kind`] by the
@@ -438,6 +455,9 @@ pub struct ObsMetrics {
     pub epoch_ticks: simcore::obs::Counter,
     /// `dmamem.request_service_ns` — per-request service-time histogram.
     pub request_service_ns: simcore::obs::Histogram,
+    /// `dmamem.prof.*` — engine self-profile counters, indexed in
+    /// [`PROF_KEYS`] order (set once at end of run).
+    pub prof: [simcore::obs::Counter; 6],
 }
 
 impl ObsMetrics {
@@ -466,6 +486,14 @@ impl ObsMetrics {
             page_moves: registry.counter("dmamem.pl.page_moves"),
             epoch_ticks: registry.counter("dmamem.epoch_ticks"),
             request_service_ns: registry.histogram("dmamem.request_service_ns"),
+            prof: [
+                registry.counter("dmamem.prof.events"),
+                registry.counter("dmamem.prof.heap_pushes"),
+                registry.counter("dmamem.prof.heap_pops"),
+                registry.counter("dmamem.prof.heap_depth_max"),
+                registry.counter("dmamem.prof.transfers"),
+                registry.counter("dmamem.prof.requests"),
+            ],
         }
     }
 
@@ -526,6 +554,26 @@ impl Obs {
     /// True when any consumer is attached.
     pub fn enabled(&self) -> bool {
         self.wants_activity() || self.metrics.is_some()
+    }
+
+    /// Publishes the *deterministic* engine self-profile counters into
+    /// the metrics registry (once, at end of run). Wall-clock phase ns
+    /// never reach the registry, so metric snapshots — and everything
+    /// rendered from them — are byte-identical with profiling armed or
+    /// not. Key order matches [`PROF_KEYS`].
+    pub fn publish_prof(&self, profile: &simcore::EngineProfile) {
+        let Some(m) = &self.metrics else { return };
+        let values = [
+            profile.events,
+            profile.heap_pushes,
+            profile.heap_pops,
+            profile.max_heap_depth,
+            profile.transfers,
+            profile.requests,
+        ];
+        for (counter, v) in m.prof.iter().zip(values) {
+            counter.add(v);
+        }
     }
 
     /// Routes a chip-activity observation to the timeline and the event
@@ -1039,12 +1087,59 @@ mod tests {
             .map(|k| k.to_string())
             .collect();
         registered.sort();
-        let mut expected: Vec<String> = METRIC_KEYS.iter().map(|k| k.to_string()).collect();
+        let mut expected: Vec<String> = METRIC_KEYS
+            .iter()
+            .chain(PROF_KEYS)
+            .map(|k| k.to_string())
+            .collect();
         expected.sort();
         assert_eq!(
             registered, expected,
-            "METRIC_KEYS must list exactly what ObsMetrics::new registers"
+            "METRIC_KEYS + PROF_KEYS must list exactly what ObsMetrics::new registers"
         );
+    }
+
+    #[test]
+    fn prof_keys_match_publication() {
+        let reg = MetricsRegistry::new();
+        let mut obs = Obs::new(1);
+        obs.metrics = Some(ObsMetrics::new(&reg));
+        let mut profile = simcore::EngineProfile {
+            events: 11,
+            heap_pushes: 12,
+            heap_pops: 13,
+            max_heap_depth: 14,
+            transfers: 15,
+            requests: 16,
+            timed: true,
+            ..simcore::EngineProfile::default()
+        };
+        profile
+            .phases
+            .add_ns(simcore::prof::Phase::Dispatch, 99_999);
+        obs.publish_prof(&profile);
+        let snap = reg.snapshot();
+        let expect: [(&str, u64); 6] = [
+            ("dmamem.prof.events", 11),
+            ("dmamem.prof.heap_pushes", 12),
+            ("dmamem.prof.heap_pops", 13),
+            ("dmamem.prof.heap_depth_max", 14),
+            ("dmamem.prof.transfers", 15),
+            ("dmamem.prof.requests", 16),
+        ];
+        for (key, v) in expect {
+            assert!(PROF_KEYS.contains(&key));
+            assert_eq!(snap.counter(key), Some(v), "{key}");
+        }
+        // Wall-clock ns must never reach the registry: nothing beyond the
+        // registered keys appears, even though the profile carried phase ns.
+        for key in snap.counters.keys() {
+            let key: &str = key;
+            assert!(
+                METRIC_KEYS.contains(&key) || PROF_KEYS.contains(&key),
+                "unexpected published key {key}"
+            );
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@ use iobus::{Bus, BusId, DmaRequest, DmaTransfer, IssueOutcome, PageId, TransferI
 use mempower::policy::PowerPolicy;
 use mempower::{Chip, ChipPhase, EnergyBreakdown, EnergyCategory, PowerMode};
 use simcore::obs::{EventSink, MetricsRegistry, SpanTimer};
+use simcore::prof::{EngineProfile, Phase, PhaseProfile, Stopwatch};
 use simcore::stats::DurationStats;
 use simcore::{EventQueue, SimDuration, SimTime};
 
@@ -47,6 +48,7 @@ pub struct ServerSimulator {
     timeline_window: Option<(SimTime, SimTime)>,
     observability: Option<usize>,
     tracing: Option<usize>,
+    profiling: bool,
 }
 
 impl ServerSimulator {
@@ -64,7 +66,20 @@ impl ServerSimulator {
             timeline_window: None,
             observability: None,
             tracing: None,
+            profiling: false,
         }
+    }
+
+    /// Arms wall-clock phase timers in the engine self-profile.
+    ///
+    /// The deterministic [`EngineProfile`] counters (events, heap ops,
+    /// allocations, phase call counts) are collected on every run; this
+    /// switch only adds per-phase elapsed-nanosecond totals, which are
+    /// host-dependent. Simulated results stay byte-identical either way
+    /// (see `tests/prof_determinism.rs`).
+    pub fn with_profiling(mut self) -> Self {
+        self.profiling = true;
+        self
     }
 
     /// Enables full observability: metric collection, chip power-mode
@@ -132,6 +147,7 @@ impl ServerSimulator {
     /// Panics if the trace references an out-of-range page or bus.
     pub fn run(&self, trace: &Trace) -> SimResult {
         let mut engine = Engine::new(&self.config, &self.scheme);
+        engine.prof_timed = self.profiling;
         if let Some((start, end)) = self.timeline_window {
             engine.obs.timeline = Some(TimelineRecorder::new(start, end, self.config.chips));
         }
@@ -283,6 +299,10 @@ struct Engine<'a> {
     service_sum_ps: u64,
     obs: Obs,
     dispatch_span: Option<SpanTimer>,
+    // Engine self-profile: per-phase call counts are always maintained
+    // (deterministic); wall-clock ns only when `prof_timed` is set.
+    phases: PhaseProfile,
+    prof_timed: bool,
 }
 
 impl<'a> Engine<'a> {
@@ -359,6 +379,8 @@ impl<'a> Engine<'a> {
             service_sum_ps: 0,
             obs: Obs::new(config.chips),
             dispatch_span: None,
+            phases: PhaseProfile::default(),
+            prof_timed: false,
         }
     }
 
@@ -430,6 +452,13 @@ impl<'a> Engine<'a> {
                 break;
             }
             let _span = dispatch_span.as_ref().map(|s| s.start());
+            let phase = match ev {
+                Ev::PolicyTimer { .. } | Ev::EpochTick | Ev::PlInterval => Phase::Policy,
+                Ev::TransitionDone { .. } => Phase::Transition,
+                _ => Phase::Dispatch,
+            };
+            self.phases.note(phase);
+            let sw = self.prof_timed.then(Stopwatch::start);
             match ev {
                 Ev::Trace => self.on_trace(events),
                 Ev::BusTick { bus, gen } => self.on_bus_tick(bus, gen),
@@ -440,7 +469,14 @@ impl<'a> Engine<'a> {
                 Ev::EpochTick => self.on_epoch_tick(events.len()),
                 Ev::PlInterval => self.on_pl_interval(events.len()),
             }
+            if let Some(sw) = sw {
+                self.phases.add_ns(phase, sw.elapsed_ns());
+            }
         }
+        // Stat collection is its own profiled phase: ledger close, energy
+        // merge, snapshotting, and result assembly below.
+        self.phases.note(Phase::Stats);
+        let stats_sw = self.prof_timed.then(Stopwatch::start);
 
         if std::env::var_os("DMAMEM_DEBUG_SLACK").is_some() {
             if let Some(slack) = &self.slack {
@@ -516,6 +552,26 @@ impl<'a> Engine<'a> {
             per_chip_residency.push(*c.chip.residency());
             wakes += c.chip.wakes();
         }
+        if let Some(sw) = stats_sw {
+            self.phases.add_ns(Phase::Stats, sw.elapsed_ns());
+        }
+        let queue_stats = self.queue.stats();
+        let profile = EngineProfile {
+            // Dispatched events: every loop-phase call (the Stats phase is
+            // the post-loop pass, not a dispatched event).
+            events: self.phases.total_calls() - self.phases.get(Phase::Stats).calls,
+            heap_pushes: queue_stats.pushes,
+            heap_pops: queue_stats.pops,
+            max_heap_depth: queue_stats.max_depth,
+            transfers: self.next_tid - 1,
+            requests: self.dma_requests,
+            timed: self.prof_timed,
+            phases: self.phases,
+        };
+        // Deterministic prof counters go into the metrics snapshot
+        // unconditionally (never the wall-clock ns), so obs output is
+        // byte-identical whether phase timing is armed or not.
+        self.obs.publish_prof(&profile);
         let trace = self.obs.tracer.take().map(|t| t.into_buffer(horizon));
         let obs_report = self.obs.sink.take().map(|events| RunObs {
             metrics: self
@@ -547,6 +603,7 @@ impl<'a> Engine<'a> {
             obs: obs_report,
             timeline: self.obs.timeline.take(),
             trace,
+            profile,
             sleep_floor_mw: self.config.chips as f64
                 * self
                     .config

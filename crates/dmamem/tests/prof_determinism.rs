@@ -1,0 +1,108 @@
+//! Engine-profile determinism: every deterministic counter the engine
+//! self-profiles (events dispatched, heap pushes/pops, max calendar
+//! depth, transfers, requests, per-phase call counts) is bit-identical
+//! at any thread count and across same-seed replays, and arming the
+//! wall-clock timers changes nothing but the explicitly host-dependent
+//! `phase_ns`/`timed_sims` fields.
+
+use dmamem::experiments::{self, ExpConfig, Workload};
+use dmamem::sweep::{ProfTotals, SweepCtx};
+use proptest::prelude::*;
+use simcore::SimDuration;
+
+fn quick(seed: u64) -> ExpConfig {
+    ExpConfig {
+        duration: SimDuration::from_ms(2),
+        seed,
+    }
+}
+
+/// Zeroes the host-dependent fields so everything else can be compared
+/// exactly (the deterministic contract of `simcore::prof`).
+fn deterministic(mut t: ProfTotals) -> ProfTotals {
+    t.phase_ns = [0; 4];
+    t.timed_sims = 0;
+    t
+}
+
+/// Runs a small Figure-5 sweep on `ctx` and returns its engine totals.
+fn fig5_totals(ctx: &SweepCtx, exp: ExpConfig) -> ProfTotals {
+    experiments::fig5_ctx(ctx, exp, &[Workload::SyntheticSt], &[0.05, 0.10]);
+    ctx.prof_totals()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Profile counters are bit-identical across 1/2/8 worker threads
+    /// and across a same-seed replay, for arbitrary seeds.
+    #[test]
+    fn prof_counters_identical_across_threads_and_replays(seed in 0u64..10_000) {
+        let exp = quick(seed);
+        let serial = fig5_totals(&SweepCtx::new(1), exp);
+        prop_assert!(serial.sims > 0 && serial.events > 0);
+        // Profiling off: the wall-clock fields never even arm.
+        prop_assert_eq!(serial.phase_ns, [0u64; 4]);
+        prop_assert_eq!(serial.timed_sims, 0);
+        // The loop-accounting invariant survives aggregation: every
+        // dispatched event plus one stats pass per sim noted a phase.
+        prop_assert_eq!(
+            serial.phase_calls.iter().sum::<u64>(),
+            serial.events + serial.sims
+        );
+        for threads in [2usize, 8] {
+            prop_assert_eq!(serial, fig5_totals(&SweepCtx::new(threads), exp));
+        }
+        prop_assert_eq!(serial, fig5_totals(&SweepCtx::new(2), exp));
+    }
+
+    /// Arming the profiler changes neither the figure rows nor any
+    /// deterministic counter — only `phase_ns` and `timed_sims` move.
+    #[test]
+    fn profiling_changes_only_wall_clock_fields(seed in 0u64..10_000) {
+        let exp = quick(seed);
+        let workloads = [Workload::SyntheticSt];
+        let plain_ctx = SweepCtx::new(2);
+        let plain_rows = experiments::fig5_ctx(&plain_ctx, exp, &workloads, &[0.10]);
+        let prof_ctx = SweepCtx::new(2).with_profiling(true);
+        let prof_rows = experiments::fig5_ctx(&prof_ctx, exp, &workloads, &[0.10]);
+        // Bit-exact row equality: profiling perturbs no result.
+        prop_assert_eq!(&plain_rows, &prof_rows);
+        let plain = plain_ctx.prof_totals();
+        let profiled = prof_ctx.prof_totals();
+        prop_assert_eq!(deterministic(plain), deterministic(profiled));
+        prop_assert_eq!(plain.timed_sims, 0);
+        prop_assert_eq!(profiled.timed_sims, profiled.sims);
+    }
+}
+
+/// A single simulation's `EngineProfile` reproduces exactly on replay,
+/// with or without the wall-clock switch.
+#[test]
+fn single_run_profile_replays_exactly() {
+    let exp = quick(42);
+    let ctx = SweepCtx::new(1);
+    let trace = Workload::OltpSt.shared_trace(&ctx, exp);
+    let run = |profiled: bool| {
+        let mut sim = dmamem::ServerSimulator::new(
+            dmamem::SystemConfig::default(),
+            dmamem::Scheme::baseline(),
+        );
+        if profiled {
+            sim = sim.with_profiling();
+        }
+        sim.run(trace.trace())
+    };
+    let a = run(false);
+    let b = run(false);
+    assert_eq!(a.profile, b.profile, "replay must reproduce the profile");
+    let c = run(true);
+    assert!(
+        a.profile.deterministic_eq(&c.profile),
+        "profiling drifted a deterministic counter:\n{:?}\nvs\n{:?}",
+        a.profile,
+        c.profile
+    );
+    assert_eq!(a.energy, c.energy);
+    assert!(!a.profile.timed && c.profile.timed);
+}

@@ -3,6 +3,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::prof::QueueStats;
 use crate::SimTime;
 
 /// One scheduled entry: ordered by time, then by insertion sequence so that
@@ -59,6 +60,7 @@ impl<E> Ord for Entry<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
+    stats: QueueStats,
 }
 
 impl<E> EventQueue<E> {
@@ -67,6 +69,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            stats: QueueStats::default(),
         }
     }
 
@@ -79,11 +82,17 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { time, seq, event });
+        self.stats.pushes += 1;
+        self.stats.max_depth = self.stats.max_depth.max(self.heap.len() as u64);
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        let popped = self.heap.pop().map(|e| (e.time, e.event));
+        if popped.is_some() {
+            self.stats.pops += 1;
+        }
+        popped
     }
 
     /// The timestamp of the earliest pending event, if any.
@@ -102,8 +111,17 @@ impl<E> EventQueue<E> {
     }
 
     /// Drops all pending events.
+    ///
+    /// Lifetime counters ([`EventQueue::stats`]) are kept: clearing is
+    /// part of a queue's history, not a new queue.
     pub fn clear(&mut self) {
         self.heap.clear();
+    }
+
+    /// Lifetime push/pop/depth counters (deterministic: they derive only
+    /// from the schedule/pop call sequence).
+    pub fn stats(&self) -> QueueStats {
+        self.stats
     }
 }
 
@@ -168,6 +186,24 @@ mod tests {
         q.schedule(at(1), "c");
         assert_eq!(q.pop().unwrap().1, "b");
         assert_eq!(q.pop().unwrap().1, "c");
+    }
+
+    #[test]
+    fn stats_track_pushes_pops_and_depth() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.schedule(at(i), i);
+        }
+        assert_eq!(q.pop().unwrap().1, 0);
+        q.schedule(at(9), 9);
+        let s = q.stats();
+        assert_eq!(s.pushes, 6);
+        assert_eq!(s.pops, 1);
+        assert_eq!(s.max_depth, 5);
+        q.clear();
+        assert_eq!(q.stats(), s, "clear keeps lifetime counters");
+        assert!(q.pop().is_none());
+        assert_eq!(q.stats().pops, 1, "empty pop does not count");
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //! * [`obs`] — the observability layer: a named-metric registry (counters,
 //!   gauges, log-scale histograms), a ring-buffered typed-event sink with
 //!   JSONL export, and scoped wall-clock span timers.
+//! * [`prof`] — engine self-profiling: deterministic hot-path counters
+//!   ([`EngineProfile`]) plus opt-in wall-clock phase timers, so the
+//!   simulator itself is as observable as the systems it models.
 //! * [`par`] — a std-only scoped-thread work-stealing pool with
 //!   input-order results and per-job panic isolation, used by the
 //!   experiment sweep engine.
@@ -39,9 +42,11 @@ pub mod dist;
 mod event;
 pub mod obs;
 pub mod par;
+pub mod prof;
 pub mod rng;
 pub mod stats;
 mod time;
 
 pub use event::EventQueue;
+pub use prof::EngineProfile;
 pub use time::{SimDuration, SimTime};

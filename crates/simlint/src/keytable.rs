@@ -1,8 +1,8 @@
 //! The registered observability key table, parsed out of
 //! `crates/dmamem/src/obs.rs` so the `obs-key` rule checks against the
 //! same source of truth the engine registers from (the `METRIC_KEYS`,
-//! `EVENT_KINDS`, and `TRACE_KEYS` consts; dmamem's own unit tests pin
-//! those consts to the actual registrations).
+//! `PROF_KEYS`, `EVENT_KINDS`, and `TRACE_KEYS` consts; dmamem's own
+//! unit tests pin those consts to the actual registrations).
 
 use std::collections::BTreeSet;
 
@@ -11,6 +11,8 @@ use std::collections::BTreeSet;
 pub struct KeyTable {
     /// Every `dmamem.*` metric key the engine registers.
     pub metric_keys: BTreeSet<String>,
+    /// Every `dmamem.prof.*` engine self-profiling counter key.
+    pub prof_keys: BTreeSet<String>,
     /// Every event `kind` tag the engine emits.
     pub event_kinds: BTreeSet<String>,
     /// Every `dmamem.trace.*` span, marker, and counter name the causal
@@ -25,6 +27,7 @@ impl KeyTable {
     pub fn from_obs_source(source: &str) -> Result<KeyTable, String> {
         Ok(KeyTable {
             metric_keys: const_literals(source, "METRIC_KEYS")?,
+            prof_keys: const_literals(source, "PROF_KEYS")?,
             event_kinds: const_literals(source, "EVENT_KINDS")?,
             trace_keys: const_literals(source, "TRACE_KEYS")?,
         })
@@ -65,6 +68,7 @@ pub const METRIC_KEYS: &[&str] = &[
     "dmamem.wakes",
     "dmamem.sleeps",
 ];
+pub const PROF_KEYS: &[&str] = &["dmamem.prof.events", "dmamem.prof.heap_pushes"];
 pub const EVENT_KINDS: &[&str] = &["mode_transition", "epoch_tick"];
 pub const TRACE_KEYS: &[&str] = &["dmamem.trace.transfer", "dmamem.trace.wakeup"];
 "#;
@@ -75,6 +79,8 @@ pub const TRACE_KEYS: &[&str] = &["dmamem.trace.transfer", "dmamem.trace.wakeup"
         assert!(t.metric_keys.contains("dmamem.wakes"));
         assert!(t.metric_keys.contains("dmamem.sleeps"));
         assert_eq!(t.metric_keys.len(), 2);
+        assert!(t.prof_keys.contains("dmamem.prof.events"));
+        assert_eq!(t.prof_keys.len(), 2);
         assert!(t.event_kinds.contains("epoch_tick"));
         assert_eq!(t.event_kinds.len(), 2);
         assert!(t.trace_keys.contains("dmamem.trace.wakeup"));
@@ -86,6 +92,7 @@ pub const TRACE_KEYS: &[&str] = &["dmamem.trace.transfer", "dmamem.trace.wakeup"
         assert!(KeyTable::from_obs_source("nothing here").is_err());
         // A source with metric keys but no TRACE_KEYS is also incomplete.
         let partial = "pub const METRIC_KEYS: &[&str] = &[\"dmamem.wakes\"];\n\
+                       pub const PROF_KEYS: &[&str] = &[\"dmamem.prof.events\"];\n\
                        pub const EVENT_KINDS: &[&str] = &[\"epoch_tick\"];";
         assert!(KeyTable::from_obs_source(partial).is_err());
     }

@@ -277,7 +277,8 @@ fn has_index_expr(code: &str) -> bool {
 
 /// `dmamem.*` tokens inside a string literal that are not registered
 /// metric keys (`dmamem.trace.*` tokens check against the trace-key
-/// table instead), plus `"kind":"…"` tags not in the event-kind table.
+/// table, `dmamem.prof.*` against the engine self-profiling key table),
+/// plus `"kind":"…"` tags not in the event-kind table.
 fn bad_obs_keys(lit: &str, keys: &KeyTable) -> Vec<String> {
     let norm = lit.replace("\\\"", "\"");
     let mut bad = Vec::new();
@@ -289,13 +290,15 @@ fn bad_obs_keys(lit: &str, keys: &KeyTable) -> Vec<String> {
             .collect();
         rest = &rest[at + token.len().max(7)..];
         let token = token.trim_end_matches('.');
-        // Bare namespace mentions ("dmamem", "dmamem.trace") are prose,
-        // not keys.
-        if token == "dmamem" || token == "dmamem.trace" {
+        // Bare namespace mentions ("dmamem", "dmamem.trace",
+        // "dmamem.prof") are prose, not keys.
+        if token == "dmamem" || token == "dmamem.trace" || token == "dmamem.prof" {
             continue;
         }
         let table = if token.starts_with("dmamem.trace.") {
             &keys.trace_keys
+        } else if token.starts_with("dmamem.prof.") {
+            &keys.prof_keys
         } else {
             &keys.metric_keys
         };
@@ -550,6 +553,7 @@ mod tests {
     fn table() -> KeyTable {
         let mut t = KeyTable::default();
         t.metric_keys.insert("dmamem.wakes".into());
+        t.prof_keys.insert("dmamem.prof.events".into());
         t.event_kinds.insert("epoch_tick".into());
         t.trace_keys.insert("dmamem.trace.wakeup".into());
         t
@@ -699,6 +703,20 @@ fn g() { let s: std::collections::HashSet<u8> = Default::default(); } // simlint
             .any(|f| f.rule == "obs-key"));
         // The bare namespace is prose, not a key.
         let prose = "// spans live under the dmamem.trace namespace\nfn t() {}\n";
+        assert!(lint("crates/bench/tests/x.rs", prose).is_empty());
+    }
+
+    #[test]
+    fn obs_key_routes_prof_namespace_to_prof_table() {
+        let good = "fn t() { assert!(reg.counter(\"dmamem.prof.events\").is_some()); }\n";
+        assert!(lint("crates/bench/tests/x.rs", good).is_empty());
+        // simlint::allow(obs-key, "deliberately misspelled prof key: negative test input")
+        let bad = "fn t() { assert!(reg.counter(\"dmamem.prof.evnets\").is_some()); }\n";
+        assert!(lint("crates/bench/tests/x.rs", bad)
+            .iter()
+            .any(|f| f.rule == "obs-key"));
+        // The bare namespace is prose, not a key.
+        let prose = "// counters live under the dmamem.prof namespace\nfn t() {}\n";
         assert!(lint("crates/bench/tests/x.rs", prose).is_empty());
     }
 

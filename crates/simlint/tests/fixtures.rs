@@ -12,6 +12,7 @@ use simlint::{lint_source, KeyTable};
 fn table() -> KeyTable {
     let mut t = KeyTable::default();
     t.metric_keys.insert("dmamem.wakes".into());
+    t.prof_keys.insert("dmamem.prof.events".into());
     t.event_kinds.insert("epoch_tick".into());
     t.trace_keys.insert("dmamem.trace.wakeup".into());
     t

@@ -5,3 +5,6 @@ pub fn check(line: &str) -> bool {
 pub fn check_trace(json: &str) -> bool {
     json.contains("dmamem.trace.wakeup")
 }
+pub fn check_prof(json: &str) -> bool {
+    json.contains("dmamem.prof.events")
+}

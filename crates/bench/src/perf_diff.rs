@@ -16,8 +16,12 @@
 //!   WARN only; it never fails the gate.
 //!
 //! `threads`, `cores`, `wall_ms`, and phase `ns` are ignored entirely;
-//! `trace_ms` and `seed` must match or the reports are incomparable
-//! (error).
+//! `trace_ms`, `seed`, and `queue_kind` must match or the reports are
+//! incomparable (error). A `queue_kind` mismatch means the baseline was
+//! recorded under different event-queue pop-order semantics — the remedy
+//! is a deliberate re-record, and the gate says so instead of emitting a
+//! wall of counter mismatches. Reports that predate the field are
+//! treated as [`simcore::HEAP_QUEUE_KIND`].
 
 use simcore::obs::json::{parse, JsonValue};
 
@@ -162,6 +166,7 @@ struct Figure {
 }
 
 struct Report {
+    queue_kind: String,
     trace_ms: f64,
     seed: u64,
     figures: Vec<Figure>,
@@ -185,6 +190,13 @@ fn parse_report(label: &str, text: &str) -> Result<Report, String> {
             "{label}: not an engine report (`bench` != \"engine\")"
         ));
     }
+    // Reports recorded before the queue-kind schema existed omit the
+    // field; they were all recorded on the binary-heap queue.
+    let queue_kind = v
+        .get("queue_kind")
+        .and_then(|q| q.as_str())
+        .unwrap_or(simcore::HEAP_QUEUE_KIND)
+        .to_string();
     let trace_ms = v
         .get("trace_ms")
         .and_then(|t| t.as_f64())
@@ -242,6 +254,7 @@ fn parse_report(label: &str, text: &str) -> Result<Report, String> {
         phase_calls.push((name.to_string(), get_u64(label, name, phase, "calls")?));
     }
     Ok(Report {
+        queue_kind,
         trace_ms,
         seed,
         figures,
@@ -252,12 +265,23 @@ fn parse_report(label: &str, text: &str) -> Result<Report, String> {
 }
 
 /// Diffs two `BENCH_engine.json` reports. Errors on malformed input or
-/// structural mismatch (different figure sets, phases, `trace_ms`, or
-/// `seed` — those make the counters incomparable); counter drift and
-/// throughput regressions are reported through [`PerfDiffReport`].
+/// structural mismatch (different figure sets, phases, `trace_ms`,
+/// `seed`, or `queue_kind` — those make the counters incomparable);
+/// counter drift and throughput regressions are reported through
+/// [`PerfDiffReport`].
 pub fn diff(baseline: &str, current: &str, rate_tolerance: f64) -> Result<PerfDiffReport, String> {
     let base = parse_report("baseline", baseline)?;
     let cur = parse_report("current", current)?;
+    // Queue semantics gate first: comparing queue-shape counters across
+    // different pop-order schemas would produce a wall of spurious
+    // counter FAILs, so refuse with the actual remedy instead.
+    if base.queue_kind != cur.queue_kind {
+        return Err(format!(
+            "queue_kind mismatch: baseline `{}` vs current `{}` — baseline recorded under \
+             different queue semantics; re-record it (`experiments ... --prof-out`) before diffing",
+            base.queue_kind, cur.queue_kind
+        ));
+    }
     // trace_ms is a config literal, not a computed value: any difference
     // at all makes the reports incomparable, so exact comparison is right.
     if base.trace_ms != cur.trace_ms {
@@ -391,6 +415,33 @@ mod tests {
         assert!(d.render().contains("WARN"));
         // Same regression inside a looser tolerance does not warn.
         assert!(diff(&base, &cur, 0.60).unwrap().warnings().is_empty());
+    }
+
+    #[test]
+    fn queue_kind_mismatch_is_a_clear_rerecord_error() {
+        // The fixture predates the queue_kind field, so it reads as the
+        // legacy heap kind; a wheel-recorded report must not diff
+        // against it.
+        let legacy = report(1000, 100_000, 42);
+        let wheel = legacy.replace(
+            "\"bench\": \"engine\"",
+            &format!(
+                "\"bench\": \"engine\", \"queue_kind\": \"{}\"",
+                simcore::QUEUE_KIND
+            ),
+        );
+        let err = diff(&legacy, &wheel, DEFAULT_RATE_TOLERANCE).unwrap_err();
+        assert!(err.contains("queue_kind mismatch"), "{err}");
+        assert!(err.contains("different queue semantics"), "{err}");
+        assert!(err.contains("re-record"), "{err}");
+        assert!(
+            err.contains(simcore::HEAP_QUEUE_KIND) && err.contains(simcore::QUEUE_KIND),
+            "error names both kinds: {err}"
+        );
+        // Same kind on both sides diffs normally.
+        assert!(diff(&wheel, &wheel, DEFAULT_RATE_TOLERANCE)
+            .unwrap()
+            .passed());
     }
 
     #[test]

@@ -52,6 +52,11 @@ impl EngineRow {
 /// The whole-matrix engine profile, rendered as `BENCH_engine.json`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EngineReport {
+    /// Pop-order schema of the event queue the engine ran on
+    /// ([`simcore::QUEUE_KIND`]). Queue-shape counters (heap pushes/pops,
+    /// max depth) are only comparable between reports with equal kinds;
+    /// `perf_diff` refuses to diff across kinds.
+    pub queue_kind: String,
     /// Worker threads the sweep ran on.
     pub threads: usize,
     /// Hardware threads the host reports.
@@ -84,6 +89,7 @@ impl EngineReport {
             })
             .collect();
         EngineReport {
+            queue_kind: simcore::QUEUE_KIND.to_string(),
             threads: runner.threads(),
             cores: simcore::par::available_threads(),
             trace_ms,
@@ -115,6 +121,7 @@ impl EngineReport {
     /// host-dependent (warn-only).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"bench\": \"engine\",\n");
+        out.push_str(&format!("  \"queue_kind\": \"{}\",\n", self.queue_kind));
         out.push_str(&format!("  \"threads\": {},\n", self.threads));
         out.push_str(&format!("  \"cores\": {},\n", self.cores));
         out.push_str(&format!("  \"trace_ms\": {},\n", self.trace_ms));
@@ -277,6 +284,7 @@ mod tests {
         totals.phase_ns = [4_000_000, 0, 0, 1_000_000];
         totals.timed_sims = 4;
         EngineReport {
+            queue_kind: simcore::QUEUE_KIND.to_string(),
             threads: 2,
             cores: 1,
             trace_ms: 2.0,
@@ -290,6 +298,7 @@ mod tests {
     fn json_reports_events_per_sec_for_every_figure() {
         let json = report().to_json();
         assert!(json.contains("\"bench\": \"engine\""));
+        assert!(json.contains(&format!("\"queue_kind\": \"{}\"", simcore::QUEUE_KIND)));
         assert!(json.contains("\"figure\": \"fig5\""));
         assert!(json.contains("\"events\": 1000"));
         // 1000 events over 10 ms = 100k events/sec; 2000 over 5 ms = 400k.

@@ -1,0 +1,146 @@
+//! Idle-gap fast-forward conservation: the engine's virtual-time jump
+//! across empty epochs is *observationally* a no-op.
+//!
+//! [`ServerSimulator::with_classic_event_core`] disables the jump, so
+//! every pair below runs the same trace both ways and demands identical
+//! results: the five-bucket energy attribution (to the 1e-9 checksum
+//! the attribution suite enforces), per-chip residency, horizon,
+//! service/response statistics, and the deterministic `events` count
+//! (the fast path books skipped epoch ticks via `note_n`, so even the
+//! profile's phase calls match the classic engine exactly). The only
+//! legitimate divergence is queue shape — the fast path *schedules*
+//! fewer epoch ticks — and the test asserts that divergence is present,
+//! so it cannot pass vacuously with the fast-forward never firing.
+
+use dma_trace::{SyntheticStorageGen, Trace, TraceGen};
+use dmamem::{Scheme, ServerSimulator, SystemConfig};
+use mempower::EnergyCategory;
+use simcore::prof::Phase;
+use simcore::SimDuration;
+
+/// A storage trace sparse enough that epochs go empty between transfer
+/// bursts (mean inter-arrival 50 us vs. the 1-us TA epoch), so the
+/// fast-forward has real gaps to jump.
+fn sparse_trace(seed: u64) -> Trace {
+    let gen = SyntheticStorageGen {
+        transfers_per_ms: 20.0,
+        ..SyntheticStorageGen::default()
+    };
+    gen.generate(SimDuration::from_ms(2), seed)
+}
+
+fn run_pair(scheme: Scheme, trace: &Trace) -> (dmamem::SimResult, dmamem::SimResult) {
+    let fast = ServerSimulator::new(SystemConfig::default(), scheme).run(trace);
+    let classic = ServerSimulator::new(SystemConfig::default(), scheme)
+        .with_classic_event_core()
+        .run(trace);
+    (fast, classic)
+}
+
+/// Field-by-field identity of everything observable about a run.
+fn assert_conserved(label: &str, fast: &dmamem::SimResult, classic: &dmamem::SimResult) {
+    assert_eq!(fast.scheme, classic.scheme, "{label}: scheme label");
+    assert_eq!(fast.energy, classic.energy, "{label}: energy breakdown");
+    assert_eq!(
+        fast.per_chip_mj, classic.per_chip_mj,
+        "{label}: per-chip energy"
+    );
+    assert_eq!(
+        fast.per_chip_energy, classic.per_chip_energy,
+        "{label}: per-chip breakdowns"
+    );
+    assert_eq!(
+        fast.per_chip_residency, classic.per_chip_residency,
+        "{label}: residency"
+    );
+    assert_eq!(fast.horizon, classic.horizon, "{label}: horizon");
+    assert_eq!(fast.dma_requests, classic.dma_requests, "{label}: requests");
+    assert_eq!(fast.transfers, classic.transfers, "{label}: transfers");
+    assert_eq!(
+        fast.proc_accesses, classic.proc_accesses,
+        "{label}: proc accesses"
+    );
+    assert_eq!(
+        fast.dma_serving, classic.dma_serving,
+        "{label}: dma serving"
+    );
+    assert_eq!(fast.wakes, classic.wakes, "{label}: wakes");
+    assert_eq!(
+        fast.delayed_firsts, classic.delayed_firsts,
+        "{label}: delayed firsts"
+    );
+    assert_eq!(fast.page_moves, classic.page_moves, "{label}: page moves");
+    assert_eq!(fast.slack, classic.slack, "{label}: slack summary");
+    for (a, b, which) in [
+        (&fast.request_service, &classic.request_service, "service"),
+        (
+            &fast.transfer_response,
+            &classic.transfer_response,
+            "response",
+        ),
+    ] {
+        assert_eq!(a.count(), b.count(), "{label}: {which} count");
+        assert_eq!(a.mean(), b.mean(), "{label}: {which} mean");
+        assert_eq!(a.max(), b.max(), "{label}: {which} max");
+    }
+    // The five attribution buckets partition the same total either way.
+    for cat in EnergyCategory::ALL {
+        assert_eq!(
+            fast.energy.energy_mj(cat),
+            classic.energy.energy_mj(cat),
+            "{label}: bucket {}",
+            cat.label()
+        );
+    }
+    let rel = (fast.energy.total_mj() - classic.energy.total_mj()).abs()
+        / classic.energy.total_mj().abs().max(1.0);
+    assert!(
+        rel <= 1e-9,
+        "{label}: attribution checksum off by {rel:.3e}"
+    );
+    // Dispatch accounting matches to the event: skipped epochs are
+    // booked, not dropped.
+    assert_eq!(
+        fast.profile.events, classic.profile.events,
+        "{label}: events"
+    );
+    for phase in Phase::ALL {
+        assert_eq!(
+            fast.profile.phases.get(phase).calls,
+            classic.profile.phases.get(phase).calls,
+            "{label}: {} calls",
+            phase.label()
+        );
+    }
+}
+
+/// Energy, residency, latency, and dispatch accounting are identical
+/// with the fast-forward on vs. off, across seeds and TA schemes — and
+/// the fast path provably fired (it scheduled fewer epoch ticks).
+#[test]
+fn fast_forward_conserves_all_observables() {
+    for seed in [7u64, 42, 1234] {
+        let trace = sparse_trace(seed);
+        for scheme in [Scheme::dma_ta(0.1), Scheme::dma_ta_pl(0.3, 2)] {
+            let (fast, classic) = run_pair(scheme, &trace);
+            let label = format!("seed {seed} {}", scheme.label());
+            assert_conserved(&label, &fast, &classic);
+            assert!(
+                fast.profile.heap_pushes < classic.profile.heap_pushes,
+                "{label}: fast-forward never fired ({} vs {} pushes)",
+                fast.profile.heap_pushes,
+                classic.profile.heap_pushes,
+            );
+        }
+    }
+}
+
+/// Without TA there are no epoch ticks to skip: the classic switch is
+/// a strict no-op and even the queue shape matches.
+#[test]
+fn classic_switch_is_identity_for_baseline_scheme() {
+    let trace = sparse_trace(42);
+    let (fast, classic) = run_pair(Scheme::baseline(), &trace);
+    assert_conserved("baseline", &fast, &classic);
+    assert_eq!(fast.profile, classic.profile);
+}

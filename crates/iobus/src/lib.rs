@@ -187,6 +187,11 @@ pub struct DmaTransfer {
     pub direction: DmaDirection,
     /// Initiating device class.
     pub source: DmaSource,
+    /// Engine-side arena slot for this transfer's bookkeeping record
+    /// (see [`DmaTransfer::with_slot`]); propagated onto every
+    /// [`DmaRequest`] so the controller resolves request → record with
+    /// one stable index instead of a map probe. Zero when unused.
+    pub slot: u32,
 }
 
 impl DmaTransfer {
@@ -211,7 +216,15 @@ impl DmaTransfer {
             bytes,
             direction,
             source,
+            slot: 0,
         }
+    }
+
+    /// Attaches the engine's arena slot for this transfer (builder
+    /// style); the bus stamps it on every issued request.
+    pub fn with_slot(mut self, slot: u32) -> Self {
+        self.slot = slot;
+        self
     }
 }
 
@@ -235,6 +248,8 @@ pub struct DmaRequest {
     pub is_last: bool,
     /// Initiating device class (propagated from the transfer).
     pub source: DmaSource,
+    /// Engine-side arena slot (propagated from the transfer).
+    pub slot: u32,
 }
 
 /// Result of asking a bus to issue at a slot.
@@ -273,6 +288,9 @@ struct Stream {
 pub struct Bus {
     id: BusId,
     config: BusConfig,
+    /// `config.slot_period()`, cached: the config is fixed at
+    /// construction and the period is consulted on every issue.
+    slot_period: SimDuration,
     streams: Vec<Stream>,
     rr_next: usize,
     next_free_slot: SimTime,
@@ -284,6 +302,7 @@ impl Bus {
     pub fn new(id: BusId, config: BusConfig) -> Self {
         Bus {
             id,
+            slot_period: config.slot_period(),
             config,
             streams: Vec::new(),
             rr_next: 0,
@@ -338,7 +357,7 @@ impl Bus {
         if let Some(s) = self.streams.iter_mut().find(|s| s.transfer.id == transfer) {
             if s.phase == StreamPhase::AwaitingAck {
                 s.phase = StreamPhase::Ready;
-                s.next_due = s.next_due.max(now + self.config.slot_period());
+                s.next_due = s.next_due.max(now + self.slot_period);
             }
         }
     }
@@ -401,7 +420,7 @@ impl Bus {
                 if is_first {
                     s.phase = StreamPhase::AwaitingAck;
                 } else {
-                    s.next_due = now + self.config.slot_period();
+                    s.next_due = now + self.slot_period;
                 }
                 DmaRequest {
                     transfer: s.transfer.id,
@@ -412,6 +431,7 @@ impl Bus {
                     is_first,
                     is_last,
                     source: s.transfer.source,
+                    slot: s.transfer.slot,
                 }
             };
             if request.is_last {
@@ -427,7 +447,7 @@ impl Bus {
             } else {
                 self.rr_next = (idx + 1) % n;
             }
-            self.next_free_slot = now + self.config.slot_period();
+            self.next_free_slot = now + self.slot_period;
             self.issued_total += 1;
             return IssueOutcome::Issued(request);
         }

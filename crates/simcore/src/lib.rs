@@ -7,7 +7,10 @@
 //!   model (1600 MHz memory cycles, 133 MHz bus slots, microsecond disk
 //!   seeks) composes without rounding surprises.
 //! * [`EventQueue`] — a deterministic future-event list with stable FIFO
-//!   ordering among simultaneous events.
+//!   ordering among simultaneous events (a calendar/timing-wheel queue;
+//!   [`HeapQueue`] is the binary-heap reference it is proven against).
+//! * [`Slab`] — an index-stable arena with free-list reuse for the
+//!   record churn of long simulations (transfers, requests).
 //! * [`rng::DetRng`] — a seedable, deterministic random-number generator with
 //!   the samplers the workload generators need (exponential inter-arrivals,
 //!   Zipf page popularity).
@@ -44,9 +47,11 @@ pub mod obs;
 pub mod par;
 pub mod prof;
 pub mod rng;
+pub mod slab;
 pub mod stats;
 mod time;
 
-pub use event::EventQueue;
+pub use event::{EventQueue, HeapQueue, HEAP_QUEUE_KIND, QUEUE_KIND};
 pub use prof::EngineProfile;
+pub use slab::Slab;
 pub use time::{SimDuration, SimTime};

@@ -83,6 +83,16 @@ impl PhaseProfile {
         self.stats[phase.index()].calls += 1;
     }
 
+    /// Counts `n` calls of `phase` at once (deterministic side).
+    ///
+    /// Engines that process a run of identical events analytically (for
+    /// example a virtual-time fast-forward across an idle gap covering
+    /// `n` periodic ticks) use this so their call counts stay identical
+    /// to an engine that dispatched every tick individually.
+    pub fn note_n(&mut self, phase: Phase, n: u64) {
+        self.stats[phase.index()].calls += n;
+    }
+
     /// Adds wall-clock nanoseconds to `phase` (timing side).
     pub fn add_ns(&mut self, phase: Phase, ns: u64) {
         self.stats[phase.index()].ns += ns;

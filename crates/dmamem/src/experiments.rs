@@ -171,7 +171,6 @@ pub fn mu_from_baseline(
 /// (DMA path + `extra`).
 pub fn client_degradation(r: &SimResult, baseline: &SimResult, extra: SimDuration) -> f64 {
     let base_ns = baseline.transfer_response.mean_ns() + extra.as_ns_f64();
-    // simlint::allow(float-cmp, "exact-zero sentinel: mean_ns is exactly 0.0 only for an empty histogram; division guard")
     if base_ns == 0.0 {
         0.0
     } else {

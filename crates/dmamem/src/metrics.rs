@@ -90,7 +90,6 @@ impl SimResult {
     /// Average power over the horizon, in milliwatts.
     pub fn avg_power_mw(&self) -> f64 {
         let secs = self.horizon.as_secs_f64();
-        // simlint::allow(float-cmp, "exact-zero sentinel: a zero horizon converts to exactly 0.0; division guard")
         if secs == 0.0 {
             0.0
         } else {
@@ -125,7 +124,6 @@ impl SimResult {
     /// baseline) are possible and clamp naturally.
     pub fn response_degradation_vs(&self, baseline: &SimResult) -> f64 {
         let base = baseline.transfer_response.mean_ns();
-        // simlint::allow(float-cmp, "exact-zero sentinel: mean_ns of an empty histogram is exactly 0.0; division guard")
         if base == 0.0 {
             0.0
         } else {

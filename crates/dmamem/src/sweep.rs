@@ -369,6 +369,7 @@ impl SweepCtx {
     /// and seed (see [`SharedTrace::new`]).
     pub fn trace(&self, key: impl Into<String>, gen: impl FnOnce() -> Trace) -> SharedTrace {
         let key: Arc<str> = Arc::from(key.into());
+        // simlint::allow(panic-path, "lock poisoning means a sibling sweep thread already panicked; propagating the abort is the only sound continuation")
         let mut traces = self.traces.lock().expect("trace cache lock poisoned");
         if let Some(t) = traces.get(&key) {
             self.trace_hits.fetch_add(1, Ordering::Relaxed);
@@ -392,6 +393,7 @@ impl SweepCtx {
     ) -> Arc<SimResult> {
         self.run_batch(vec![SimJob::new(config.clone(), scheme, trace.clone())])
             .pop()
+            // simlint::allow(panic-path, "run_batch returns exactly one result per job by construction; a miscount is a logic bug, not a runtime input")
             .expect("one job in, one result out")
     }
 
@@ -411,6 +413,7 @@ impl SweepCtx {
         // First occurrence of each un-cached key becomes a pending run.
         let mut pending: Vec<(Arc<str>, SimJob)> = Vec::new();
         {
+            // simlint::allow(panic-path, "lock poisoning means a sibling sweep thread already panicked; propagating the abort is the only sound continuation")
             let memo = self.memo.lock().expect("memo cache lock poisoned");
             // simlint::allow(nondet-iter, "first-occurrence dedup set: membership tests only, never iterated")
             let mut claimed: HashMap<&str, ()> = HashMap::new();
@@ -427,11 +430,13 @@ impl SweepCtx {
         let fresh = par::map(self.threads, pending, |(key, job)| {
             (key, self.simulate(job))
         });
+        // simlint::allow(panic-path, "lock poisoning means a sibling sweep thread already panicked; propagating the abort is the only sound continuation")
         let mut memo = self.memo.lock().expect("memo cache lock poisoned");
         for (key, r) in fresh {
             memo.insert(key, r);
         }
         keys.iter()
+            // simlint::allow(panic-path, "every key was either memo-cached or claimed as pending and inserted above; absence is a logic bug worth aborting on")
             .map(|k| Arc::clone(memo.get(k).expect("every batch key resolved")))
             .collect()
     }

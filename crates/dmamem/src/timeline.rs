@@ -131,11 +131,10 @@ impl TimelineRecorder {
     /// simulation).
     pub fn finish(&mut self, now: SimTime) {
         for chip in 0..self.open.len() {
-            if self.open[chip].is_some() {
-                // Close by re-recording the same activity at the clip point;
-                // the open slot is dropped because `now` may exceed the
-                // window end.
-                let (start, act) = self.open[chip].take().expect("checked");
+            // Close by re-recording the same activity at the clip point;
+            // the open slot is dropped because `now` may exceed the
+            // window end.
+            if let Some((start, act)) = self.open[chip].take() {
                 let end = now.max(self.window_start).min(self.window_end);
                 if end > start {
                     self.segments.push(Segment {

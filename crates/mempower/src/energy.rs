@@ -127,7 +127,6 @@ impl EnergyBreakdown {
     /// Fraction of total energy in `category` (0 when empty).
     pub fn fraction(&self, category: EnergyCategory) -> f64 {
         let total = self.total_mj();
-        // simlint::allow(float-cmp, "exact-zero sentinel: sums of zero addends are exactly 0.0; this is a division guard, not a tolerance comparison")
         if total == 0.0 {
             0.0
         } else {

@@ -190,6 +190,7 @@ impl DynamicThresholdPolicy {
     /// Panics if `mode` is `Active`.
     pub fn threshold(&self, mode: PowerMode) -> Option<SimDuration> {
         match mode {
+            // simlint::allow(panic-path, "documented contract (see # Panics): thresholds exist only for low-power modes")
             PowerMode::Active => panic!("active mode has no threshold"),
             PowerMode::Standby => self.to_standby,
             PowerMode::Nap => self.to_nap,

@@ -426,6 +426,7 @@ impl<E> EventQueue<E> {
         }
         let (slot, dist) = self
             .next_occupied()
+            // simlint::allow(panic-path, "wheel_len counts exactly the entries in buckets; an empty wheel returned above")
             .expect("wheel_len > 0 but no occupied bucket");
         self.cur_abs += dist as u64;
         let mut cur = self.heads[slot];
@@ -465,6 +466,7 @@ impl<E> EventQueue<E> {
             if top.time.as_ps() >> QUANTUM_BITS >= horizon {
                 break;
             }
+            // simlint::allow(panic-path, "pop follows a successful peek on the same heap with exclusive access")
             let entry = self.overflow.pop().expect("peeked entry");
             self.insert_wheel(entry);
         }
@@ -491,9 +493,11 @@ impl<E> EventQueue<E> {
         let wheel_key = self.wheel_min.as_ref().map(MinPos::key);
         let popped = match (fast_key, wheel_key) {
             (None, None) => return None,
+            // simlint::allow(panic-path, "fast_key was read from this very slot two lines up")
             (Some(_), None) => self.fast.take().expect("fast key implies entry"),
             (fk, Some(wk)) => {
                 if fk.is_some_and(|k| k < wk) {
+                    // simlint::allow(panic-path, "fast_key was read from this very slot above")
                     self.fast.take().expect("fast key implies entry")
                 } else {
                     self.pop_wheel_min()
@@ -505,6 +509,7 @@ impl<E> EventQueue<E> {
     }
 
     fn pop_wheel_min(&mut self) -> Entry<E> {
+        // simlint::allow(panic-path, "callers check wheel_min before dispatching here; recompute_wheel_min restores it after")
         let m = self.wheel_min.take().expect("wheel minimum cached");
         let slot = m.slot as usize;
         // Unlink the minimum from its bucket list (buckets hold a

@@ -101,6 +101,7 @@ impl<T> Slab<T> {
                     *slot = Slot::Full(value);
                     key
                 }
+                // simlint::allow(panic-path, "free-list links are only ever written to point at vacant slots; corruption here is memory-unsafe to continue from")
                 Slot::Full(_) => unreachable!("free list points at an occupied slot"),
             }
         } else {
@@ -127,6 +128,7 @@ impl<T> Slab<T> {
             Slot::Free(next) => {
                 // Undo the replace so a caught panic leaves the slab intact.
                 *slot = Slot::Free(next);
+                // simlint::allow(panic-path, "double-remove is a use-after-free analogue; continuing would silently corrupt the arena")
                 panic!("slab remove of vacant key {key}");
             }
         }
@@ -181,6 +183,7 @@ impl<T> Index<u32> for Slab<T> {
     fn index(&self, key: u32) -> &T {
         match &self.slots[key as usize] {
             Slot::Full(value) => value,
+            // simlint::allow(panic-path, "Index contract mirrors Vec: a vacant key is a dangling handle, aborting beats aliasing")
             Slot::Free(_) => panic!("slab index of vacant key {key}"),
         }
     }
@@ -190,6 +193,7 @@ impl<T> IndexMut<u32> for Slab<T> {
     fn index_mut(&mut self, key: u32) -> &mut T {
         match &mut self.slots[key as usize] {
             Slot::Full(value) => value,
+            // simlint::allow(panic-path, "Index contract mirrors Vec: a vacant key is a dangling handle, aborting beats aliasing")
             Slot::Free(_) => panic!("slab index of vacant key {key}"),
         }
     }

@@ -258,6 +258,7 @@ impl SimTime {
         SimDuration(
             self.0
                 .checked_sub(earlier.0)
+                // simlint::allow(panic-path, "documented contract (see # Panics): a negative duration means causality broke, which determinism tests treat as fatal")
                 .expect("SimTime::elapsed_since with a later instant"),
         )
     }

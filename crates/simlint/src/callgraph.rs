@@ -1,0 +1,287 @@
+//! Workspace function-level call graph and the panic-reachability pass.
+//!
+//! Built from the per-file symbol tables ([`crate::symbols`]), the graph
+//! resolves call sites to workspace functions *by name* — a deliberate
+//! over-approximation (any workspace method named `push` is a candidate
+//! callee of every `.push(…)` site) that is safe for a deny-rule:
+//! reachability can only be overestimated, never missed. Calls that
+//! resolve to nothing (std, external) contribute no edges.
+//!
+//! Roots are every non-test function in the engine hot loop: the
+//! `dmamem::system` dispatch phases, the controllers and chip model they
+//! drive, and the `simcore` event queue and slab arena under them. A
+//! panic site (`unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/
+//! `unimplemented!`) in any function reachable from a root is a `deny`
+//! finding at the site's own line (so `simlint::allow` placement is
+//! unchanged); slice indexing in reachable functions is a `warn` — the
+//! arena/wheel structures are index-addressed by design and a blanket
+//! deny would only breed reasonless allows.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::rules::{self, Finding, Severity};
+use crate::symbols::{FileSymbols, FnSym};
+
+/// Hot-loop root files: every non-test `fn` defined here is a BFS root.
+pub fn is_root_path(p: &str) -> bool {
+    p == "crates/dmamem/src/system.rs"
+        || p.starts_with("crates/dmamem/src/controller/")
+        || p == "crates/mempower/src/chip.rs"
+        || p == "crates/simcore/src/event.rs"
+        || p == "crates/simcore/src/slab.rs"
+}
+
+struct Node<'a> {
+    file: &'a FileSymbols,
+    f: &'a FnSym,
+}
+
+/// The reachability result for one function.
+struct Reach {
+    parent: Option<usize>,
+}
+
+/// Runs the panic-reachability pass over all graph-scope files and
+/// returns raw (pre-suppression) findings.
+pub fn panic_findings(files: &[FileSymbols]) -> Vec<Finding> {
+    // Nodes: non-test fns in simulation-crate files.
+    let mut nodes: Vec<Node> = Vec::new();
+    for file in files {
+        if !rules::is_sim_path(&file.path) {
+            continue;
+        }
+        for f in &file.fns {
+            if !f.is_test {
+                nodes.push(Node { file, f });
+            }
+        }
+    }
+
+    // Name index for resolution.
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, n) in nodes.iter().enumerate() {
+        by_name.entry(n.f.name.as_str()).or_default().push(i);
+    }
+
+    let resolve =
+        |caller: &Node, name: &str, qualifier: Option<&str>, method: bool| -> Vec<usize> {
+            let Some(cands) = by_name.get(name) else {
+                return Vec::new();
+            };
+            cands
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    let callee = &nodes[i];
+                    match qualifier {
+                        Some("Self") => callee.f.self_ty == caller.f.self_ty,
+                        Some(q) => {
+                            callee.f.self_ty.as_deref() == Some(q)
+                                || callee.f.module.last().map(String::as_str) == Some(q)
+                                || callee.file.crate_name == q
+                        }
+                        None if method => callee.f.self_ty.is_some(),
+                        None => callee.f.self_ty.is_none(),
+                    }
+                })
+                .collect()
+        };
+
+    // BFS from every root; keep the first (shortest) parent chain.
+    let mut reach: Vec<Option<Reach>> = (0..nodes.len()).map(|_| None).collect();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for (i, n) in nodes.iter().enumerate() {
+        if is_root_path(&n.file.path) {
+            reach[i] = Some(Reach { parent: None });
+            queue.push_back(i);
+        }
+    }
+    while let Some(i) = queue.pop_front() {
+        // Clone the call list so the borrow on `nodes` stays immutable.
+        let calls: Vec<(String, Option<String>, bool)> = nodes[i]
+            .f
+            .calls
+            .iter()
+            .map(|c| (c.name.clone(), c.qualifier.clone(), c.method))
+            .collect();
+        for (name, qualifier, method) in calls {
+            for j in resolve(&nodes[i], &name, qualifier.as_deref(), method) {
+                if reach[j].is_none() {
+                    reach[j] = Some(Reach { parent: Some(i) });
+                    queue.push_back(j);
+                }
+            }
+        }
+    }
+
+    let chain_of = |mut i: usize| -> String {
+        let mut names = vec![nodes[i].f.display_name()];
+        while let Some(p) = reach[i].as_ref().and_then(|r| r.parent) {
+            names.push(nodes[p].f.display_name());
+            i = p;
+        }
+        names.reverse();
+        if names.len() > 5 {
+            let tail = names.split_off(names.len() - 2);
+            names.truncate(2);
+            names.push("…".to_string());
+            names.extend(tail);
+        }
+        names.join(" → ")
+    };
+
+    let mut out = Vec::new();
+    for (i, n) in nodes.iter().enumerate() {
+        if reach[i].is_none() {
+            continue;
+        }
+        let chain = chain_of(i);
+        for p in &n.f.panics {
+            out.push(Finding {
+                rule: "panic-path",
+                severity: Severity::Deny,
+                path: n.file.path.clone(),
+                line: p.line,
+                message: format!(
+                    "`{}` is reachable from the engine hot loop ({chain}): a panic here \
+                     aborts a whole sweep batch; return a typed error or allow with the \
+                     invariant that makes it unreachable",
+                    p.what
+                ),
+                snippet: String::new(), // filled in by the caller from source lines
+            });
+        }
+        for &line in &n.f.index_lines {
+            out.push(Finding {
+                rule: "panic-path",
+                severity: Severity::Warn,
+                path: n.file.path.clone(),
+                line,
+                message: format!(
+                    "slice/array indexing reachable from the engine hot loop ({chain}) can \
+                     panic; prefer get() where the index is not invariant-checked"
+                ),
+                snippet: String::new(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::symbols::analyze;
+
+    fn sym(path: &str, src: &str) -> FileSymbols {
+        analyze(path, &lex(src))
+    }
+
+    fn denies(findings: &[Finding]) -> Vec<(String, usize)> {
+        findings
+            .iter()
+            .filter(|f| f.severity == Severity::Deny)
+            .map(|f| (f.path.clone(), f.line))
+            .collect()
+    }
+
+    #[test]
+    fn panic_reachable_through_two_hops_is_denied() {
+        let files = vec![
+            sym("crates/dmamem/src/system.rs", "fn run() { step(); }\n"),
+            sym(
+                "crates/dmamem/src/policy.rs",
+                "fn step() { helper::finish(); }\n\
+                 mod helper { pub fn finish() { table().unwrap(); } }\n",
+            ),
+        ];
+        let f = panic_findings(&files);
+        assert_eq!(
+            denies(&f),
+            vec![("crates/dmamem/src/policy.rs".to_string(), 2)]
+        );
+        assert!(f[0].message.contains("run → step → finish"));
+    }
+
+    #[test]
+    fn unreachable_panic_is_silent() {
+        let files = vec![
+            sym("crates/dmamem/src/system.rs", "fn run() { step(); }\n"),
+            sym(
+                "crates/dmamem/src/debug.rs",
+                "fn step() {}\nfn dump() { x.unwrap(); }\n",
+            ),
+        ];
+        assert!(denies(&panic_findings(&files)).is_empty());
+    }
+
+    #[test]
+    fn method_calls_resolve_to_workspace_impls() {
+        let files = vec![
+            sym(
+                "crates/simcore/src/event.rs",
+                "impl Queue { fn pop(&mut self) { self.wheel.advance(); } }\n",
+            ),
+            sym(
+                "crates/simcore/src/wheel.rs",
+                "impl Wheel { fn advance(&mut self) { panic!(\"empty\"); } }\n",
+            ),
+        ];
+        let f = panic_findings(&files);
+        assert_eq!(
+            denies(&f),
+            vec![("crates/simcore/src/wheel.rs".to_string(), 1)]
+        );
+        assert!(f[0].message.contains("Queue::pop → Wheel::advance"));
+    }
+
+    #[test]
+    fn test_fns_are_neither_roots_nor_callees() {
+        let files = vec![sym(
+            "crates/dmamem/src/system.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn run() {}\n",
+        )];
+        assert!(denies(&panic_findings(&files)).is_empty());
+    }
+
+    #[test]
+    fn non_sim_files_are_outside_the_graph() {
+        let files = vec![
+            sym("crates/dmamem/src/system.rs", "fn run() { spawn(); }\n"),
+            sym(
+                "crates/simcore/src/par.rs",
+                "fn spawn() { lock().unwrap(); }\n",
+            ),
+        ];
+        assert!(denies(&panic_findings(&files)).is_empty());
+    }
+
+    #[test]
+    fn indexing_in_reachable_fn_is_a_warn() {
+        let files = vec![sym(
+            "crates/simcore/src/slab.rs",
+            "impl Slab { fn get(&self, i: usize) -> u8 { self.data[i] } }\n",
+        )];
+        let f = panic_findings(&files);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].severity, Severity::Warn);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn qualified_calls_filter_by_type() {
+        // `Other::fire()` must not resolve to `Mine::fire`.
+        let files = vec![
+            sym(
+                "crates/dmamem/src/system.rs",
+                "fn run() { Other::fire(); }\n",
+            ),
+            sym(
+                "crates/dmamem/src/a.rs",
+                "impl Mine { fn fire() { panic!(\"no\"); } }\n",
+            ),
+        ];
+        assert!(denies(&panic_findings(&files)).is_empty());
+    }
+}

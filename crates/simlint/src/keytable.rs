@@ -3,8 +3,27 @@
 //! same source of truth the engine registers from (the `METRIC_KEYS`,
 //! `PROF_KEYS`, `EVENT_KINDS`, and `TRACE_KEYS` consts; dmamem's own
 //! unit tests pin those consts to the actual registrations).
+//!
+//! Since simlint v2 the parse also records *where* each table and each
+//! key lives (line numbers), which the `obs-key-live` rule needs: a key
+//! is only live if it occurs in a string literal *outside* the table
+//! declarations, and a dead key is denied at its own table line.
 
 use std::collections::BTreeSet;
+
+/// One parsed key-table const: its source extent and every key with the
+/// line it is declared on.
+#[derive(Debug, Clone)]
+pub struct TableSpan {
+    /// The const's name (`METRIC_KEYS`, …).
+    pub const_name: String,
+    /// 1-based first line of the declaration.
+    pub start_line: usize,
+    /// 1-based last line (the `];`).
+    pub end_line: usize,
+    /// `(key, line)` for every string literal in the table.
+    pub entries: Vec<(String, usize)>,
+}
 
 /// Registered metric keys, event kinds, and trace span/counter names.
 #[derive(Debug, Clone, Default)]
@@ -18,23 +37,36 @@ pub struct KeyTable {
     /// Every `dmamem.trace.*` span, marker, and counter name the causal
     /// tracer emits.
     pub trace_keys: BTreeSet<String>,
+    /// Source extents of the four consts (empty for hand-built tables,
+    /// which disables the `obs-key-live` rule).
+    pub spans: Vec<TableSpan>,
 }
 
 impl KeyTable {
     /// Parses the key table from the source text of `dmamem/src/obs.rs`:
     /// all string literals between a named const's `&[` and the closing
-    /// `];`.
+    /// `];`, with their line positions.
     pub fn from_obs_source(source: &str) -> Result<KeyTable, String> {
+        let metric = const_span(source, "METRIC_KEYS")?;
+        let prof = const_span(source, "PROF_KEYS")?;
+        let kinds = const_span(source, "EVENT_KINDS")?;
+        let trace = const_span(source, "TRACE_KEYS")?;
+        let keys_of = |s: &TableSpan| s.entries.iter().map(|(k, _)| k.clone()).collect();
         Ok(KeyTable {
-            metric_keys: const_literals(source, "METRIC_KEYS")?,
-            prof_keys: const_literals(source, "PROF_KEYS")?,
-            event_kinds: const_literals(source, "EVENT_KINDS")?,
-            trace_keys: const_literals(source, "TRACE_KEYS")?,
+            metric_keys: keys_of(&metric),
+            prof_keys: keys_of(&prof),
+            event_kinds: keys_of(&kinds),
+            trace_keys: keys_of(&trace),
+            spans: vec![metric, prof, kinds, trace],
         })
     }
 }
 
-fn const_literals(source: &str, name: &str) -> Result<BTreeSet<String>, String> {
+fn line_at(source: &str, byte: usize) -> usize {
+    source[..byte].bytes().filter(|&b| b == b'\n').count() + 1
+}
+
+fn const_span(source: &str, name: &str) -> Result<TableSpan, String> {
     // Anchor on the declaration, not doc-comment mentions of the name.
     let decl = format!("const {name}");
     let start = source
@@ -45,18 +77,28 @@ fn const_literals(source: &str, name: &str) -> Result<BTreeSet<String>, String> 
         .find("];")
         .ok_or_else(|| format!("const `{name}` has no closing `];`"))?;
     let body = &tail[..end];
-    let mut keys = BTreeSet::new();
-    let mut rest = body;
-    while let Some(open) = rest.find('"') {
-        let after = &rest[open + 1..];
-        let Some(close) = after.find('"') else { break };
-        keys.insert(after[..close].to_string());
-        rest = &after[close + 1..];
+    let mut entries = Vec::new();
+    let mut off = 0usize;
+    while let Some(open) = body[off..].find('"') {
+        let lit_start = off + open + 1;
+        let Some(close) = body[lit_start..].find('"') else {
+            break;
+        };
+        entries.push((
+            body[lit_start..lit_start + close].to_string(),
+            line_at(source, start + lit_start),
+        ));
+        off = lit_start + close + 1;
     }
-    if keys.is_empty() {
+    if entries.is_empty() {
         return Err(format!("const `{name}` contains no string literals"));
     }
-    Ok(keys)
+    Ok(TableSpan {
+        const_name: name.to_string(),
+        start_line: line_at(source, start),
+        end_line: line_at(source, start + end),
+        entries,
+    })
 }
 
 #[cfg(test)]
@@ -88,6 +130,27 @@ pub const TRACE_KEYS: &[&str] = &["dmamem.trace.transfer", "dmamem.trace.wakeup"
     }
 
     #[test]
+    fn spans_carry_extents_and_key_lines() {
+        let t = KeyTable::from_obs_source(SAMPLE).unwrap();
+        assert_eq!(t.spans.len(), 4);
+        let metric = &t.spans[0];
+        assert_eq!(metric.const_name, "METRIC_KEYS");
+        assert_eq!(metric.start_line, 2);
+        assert_eq!(metric.end_line, 5);
+        assert_eq!(
+            metric.entries,
+            vec![
+                ("dmamem.wakes".to_string(), 3),
+                ("dmamem.sleeps".to_string(), 4)
+            ]
+        );
+        let prof = &t.spans[1];
+        assert_eq!(prof.start_line, 6);
+        assert_eq!(prof.end_line, 6);
+        assert_eq!(prof.entries[1].1, 6);
+    }
+
+    #[test]
     fn missing_const_is_an_error() {
         assert!(KeyTable::from_obs_source("nothing here").is_err());
         // A source with metric keys but no TRACE_KEYS is also incomplete.
@@ -95,5 +158,10 @@ pub const TRACE_KEYS: &[&str] = &["dmamem.trace.transfer", "dmamem.trace.wakeup"
                        pub const PROF_KEYS: &[&str] = &[\"dmamem.prof.events\"];\n\
                        pub const EVENT_KINDS: &[&str] = &[\"epoch_tick\"];";
         assert!(KeyTable::from_obs_source(partial).is_err());
+    }
+
+    #[test]
+    fn hand_built_default_has_no_spans() {
+        assert!(KeyTable::default().spans.is_empty());
     }
 }

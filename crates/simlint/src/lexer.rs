@@ -1,0 +1,549 @@
+//! A hand-rolled (std-only, no `syn`) token-level lexer for Rust
+//! source.
+//!
+//! PR 3's scanner classified *lines*; every rule that needed more than
+//! "is this text code or comment" paid for it in false positives. This
+//! lexer produces a real token stream — identifiers, lifetimes, char
+//! literals, string literals (plain/raw/byte, any hash depth), numeric
+//! literals with int/float distinction, maximal-munch punctuation, and
+//! comments (line and nested block) — which the symbol pass
+//! ([`crate::symbols`]) and the token-level rules consume directly.
+//!
+//! The corner cases that motivated the rewrite all have regression
+//! tests here and in `scan.rs`:
+//!
+//! * raw strings of any hash depth, including contents that *look like*
+//!   raw-string openers/closers of other depths (`r##"a "# b"##`);
+//! * `'a` lifetimes vs `'a'` char literals, including the escaped
+//!   quote char `'\''` that a naive skip-to-next-quote loop misparses;
+//! * nested block comments;
+//! * raw identifiers (`r#match` is an identifier, not a raw string).
+//!
+//! The lexer is lossless enough for linting (token kind, text, 1-based
+//! line) but deliberately does not preserve whitespace.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (raw identifiers are unprefixed: `r#match`
+    /// lexes as `match`).
+    Ident,
+    /// A lifetime or loop label; `text` holds the name without the tick.
+    Lifetime,
+    /// A char or byte-char literal; `text` holds the raw interior.
+    CharLit,
+    /// A string literal (plain, raw, byte, or raw byte); `text` holds
+    /// the raw interior (escapes unprocessed, delimiters stripped).
+    StrLit,
+    /// An integer literal (including hex/octal/binary).
+    NumInt,
+    /// A floating-point literal.
+    NumFloat,
+    /// Punctuation, maximal-munch (`::`, `..=`, `->`, `==`, …).
+    Punct,
+    /// A `//` line comment; `text` is the body without the slashes.
+    LineComment,
+    /// A `/* … */` block comment (nesting folded); `text` is the body.
+    BlockComment,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for what is stripped).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+}
+
+impl Tok {
+    /// True when this token is a comment.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True for punctuation with exactly this text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// Multi-character punctuation, longest first (maximal munch).
+const PUNCTS: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `source` into tokens. Never fails: malformed input degrades to
+/// single-character punctuation tokens rather than an error, because a
+/// linter must keep going on code that `rustc` would reject.
+pub fn lex(source: &str) -> Vec<Tok> {
+    Lexer {
+        chars: source.chars().collect(),
+        i: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: usize,
+    out: Vec<Tok>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: usize) {
+        self.out.push(Tok { kind, text, line });
+    }
+
+    /// Consumes one char, tracking line numbers.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.i += 1;
+        Some(c)
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment();
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment();
+            } else if c == 'r' && self.raw_str_hashes(1).is_some() {
+                let h = self.raw_str_hashes(1).unwrap();
+                self.i += 1; // past `r`
+                self.raw_string(h);
+            } else if c == 'b' && self.peek(1) == Some('r') && self.raw_str_hashes(2).is_some() {
+                let h = self.raw_str_hashes(2).unwrap();
+                self.i += 2; // past `br`
+                self.raw_string(h);
+            } else if c == 'b' && self.peek(1) == Some('"') {
+                self.i += 1; // past `b`
+                self.string();
+            } else if c == 'b' && self.peek(1) == Some('\'') {
+                self.i += 1; // past `b`
+                self.char_or_lifetime();
+            } else if c == 'r'
+                && self.peek(1) == Some('#')
+                && self.peek(2).is_some_and(is_ident_start)
+            {
+                self.i += 2; // past `r#`: raw identifier
+                self.ident();
+            } else if is_ident_start(c) {
+                self.ident();
+            } else if c.is_ascii_digit() {
+                self.number();
+            } else if c == '"' {
+                self.string();
+            } else if c == '\'' {
+                self.char_or_lifetime();
+            } else {
+                self.punct();
+            }
+        }
+        self.out
+    }
+
+    /// Returns the hash depth when `i + off` starts `#*"` (a raw-string
+    /// opener body).
+    fn raw_str_hashes(&self, off: usize) -> Option<u32> {
+        let mut j = off;
+        let mut hashes = 0u32;
+        while self.peek(j) == Some('#') {
+            hashes += 1;
+            j += 1;
+        }
+        if self.peek(j) == Some('"') {
+            Some(hashes)
+        } else {
+            None
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.i += 2;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        self.i += 2;
+        let mut depth = 1u32;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+                text.push_str("/*");
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokKind::BlockComment, text, line);
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+
+    /// Numeric literal. Distinguishes ints from floats: a `.` makes a
+    /// float only when followed by a digit or by nothing number-like
+    /// (`1.`), so ranges (`1..n`) and tuple chains stay integers, and
+    /// exponents (`2e9`, `1.5e-3`) are floats.
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let mut float = false;
+        let hex =
+            self.peek(0) == Some('0') && matches!(self.peek(1), Some('x') | Some('o') | Some('b'));
+        // Digits, underscores, and base/suffix letters.
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                // `e`/`E` exponent makes a float: `1e9`, `2.5e-3`.
+                if (c == 'e' || c == 'E') && !hex {
+                    let signed = matches!(self.peek(1), Some('+') | Some('-'));
+                    let exp_digit = |o: Option<char>| o.is_some_and(|d| d.is_ascii_digit());
+                    if exp_digit(self.peek(1)) || (signed && exp_digit(self.peek(2))) {
+                        float = true;
+                        text.push(c);
+                        self.bump();
+                        if signed {
+                            text.push(self.bump().unwrap_or_default());
+                        }
+                        continue;
+                    }
+                }
+                text.push(c);
+                self.bump();
+            } else if c == '.' && !float {
+                match self.peek(1) {
+                    // `1..n` range or `1.method()`: the dot is not ours.
+                    Some('.') => break,
+                    Some(d) if d.is_ascii_digit() => {
+                        float = true;
+                        text.push('.');
+                        self.bump();
+                    }
+                    Some(d) if is_ident_start(d) => break,
+                    // Trailing-dot float: `1.` (valid Rust).
+                    _ => {
+                        float = true;
+                        text.push('.');
+                        self.bump();
+                        break;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        // A suffix can force the class: `1f64` is a float.
+        if text.ends_with("f32") || text.ends_with("f64") {
+            float = true;
+        }
+        let kind = if float {
+            TokKind::NumFloat
+        } else {
+            TokKind::NumInt
+        };
+        self.push(kind, text, line);
+    }
+
+    fn string(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                text.push(c);
+                self.bump();
+                if let Some(esc) = self.bump() {
+                    text.push(esc);
+                }
+            } else if c == '"' {
+                self.bump();
+                break;
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokKind::StrLit, text, line);
+    }
+
+    fn raw_string(&mut self, hashes: u32) {
+        let line = self.line;
+        // Past the `#…#"` opener.
+        self.i += hashes as usize;
+        self.bump(); // the quote (bump to count a possible newline — never is one)
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '"' && (1..=hashes as usize).all(|k| self.peek(k) == Some('#')) {
+                self.bump();
+                self.i += hashes as usize;
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::StrLit, text, line);
+    }
+
+    /// Disambiguates `'a'` (char), `'\''` (escaped char), and `'a`
+    /// (lifetime). Rust's rule: `'X'` is always a char literal; a tick
+    /// followed by an identifier without a closing tick is a lifetime.
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        self.bump(); // tick
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume the escape, then
+                // everything up to the *real* closing quote. `'\''` must
+                // not terminate on the escaped quote itself.
+                let mut text = String::new();
+                text.push(self.bump().unwrap_or_default()); // backslash
+                if let Some(esc) = self.bump() {
+                    text.push(esc); // the escaped character (may be `'`)
+                    if esc == 'u' {
+                        // `'\u{…}'`
+                        while let Some(c) = self.peek(0) {
+                            if c == '\'' {
+                                break;
+                            }
+                            text.push(c);
+                            self.bump();
+                        }
+                    }
+                }
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokKind::CharLit, text, line);
+            }
+            Some(c) if self.peek(1) == Some('\'') && c != '\'' => {
+                // Plain one-character literal `'x'` — including when `x`
+                // would start an identifier: `'a'` is a char, never a
+                // lifetime.
+                self.bump();
+                self.bump();
+                self.push(TokKind::CharLit, c.to_string(), line);
+            }
+            Some(c) if is_ident_start(c) => {
+                let mut text = String::new();
+                while let Some(c) = self.peek(0) {
+                    if is_ident_continue(c) {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokKind::Lifetime, text, line);
+            }
+            Some(c) => {
+                // Non-identifier single char, e.g. `' '` or `'"'`.
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokKind::CharLit, c.to_string(), line);
+            }
+            None => self.push(TokKind::Punct, "'".into(), line),
+        }
+    }
+
+    fn punct(&mut self) {
+        let line = self.line;
+        for p in PUNCTS {
+            if self
+                .chars
+                .get(self.i..self.i + p.len())
+                .is_some_and(|w| w.iter().collect::<String>() == **p)
+            {
+                self.i += p.len();
+                self.push(TokKind::Punct, (*p).to_string(), line);
+                return;
+            }
+        }
+        let c = self.bump().unwrap_or_default();
+        self.push(TokKind::Punct, c.to_string(), line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_numbers_puncts() {
+        let t = kinds("let x = 42 + y_ns;");
+        assert_eq!(t[0], (TokKind::Ident, "let".into()));
+        assert_eq!(t[1], (TokKind::Ident, "x".into()));
+        assert_eq!(t[2], (TokKind::Punct, "=".into()));
+        assert_eq!(t[3], (TokKind::NumInt, "42".into()));
+        assert_eq!(t[4], (TokKind::Punct, "+".into()));
+        assert_eq!(t[5], (TokKind::Ident, "y_ns".into()));
+    }
+
+    #[test]
+    fn float_vs_int_vs_range() {
+        assert_eq!(kinds("0.5")[0], (TokKind::NumFloat, "0.5".into()));
+        assert_eq!(kinds("1e-9")[0], (TokKind::NumFloat, "1e-9".into()));
+        assert_eq!(kinds("3f64")[0], (TokKind::NumFloat, "3f64".into()));
+        assert_eq!(kinds("42u64")[0], (TokKind::NumInt, "42u64".into()));
+        assert_eq!(kinds("0x1F")[0], (TokKind::NumInt, "0x1F".into()));
+        // `1..4` is int, range, int — the dots never fuse into a float.
+        let t = kinds("1..4");
+        assert_eq!(t[0], (TokKind::NumInt, "1".into()));
+        assert_eq!(t[1], (TokKind::Punct, "..".into()));
+        assert_eq!(t[2], (TokKind::NumInt, "4".into()));
+        // Tuple-field access stays integral.
+        let t = kinds("p.0 == p.1");
+        assert_eq!(t[2], (TokKind::NumInt, "0".into()));
+        assert_eq!(t[3], (TokKind::Punct, "==".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let t = kinds("fn f<'a>(x: &'a str) -> char { 'a' }");
+        assert!(t.contains(&(TokKind::Lifetime, "a".into())));
+        assert!(t.contains(&(TokKind::CharLit, "a".into())));
+        // `'static` and labels are lifetimes.
+        assert_eq!(kinds("'static")[0], (TokKind::Lifetime, "static".into()));
+        assert_eq!(kinds("'outer: loop")[0].0, TokKind::Lifetime);
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        // The regression case: `'\''` must consume exactly one literal and
+        // leave the following tokens intact.
+        let t = kinds(r"let c = '\''; live();");
+        assert!(t.contains(&(TokKind::CharLit, "\\'".into())));
+        assert!(t.contains(&(TokKind::Ident, "live".into())));
+        // And `'\\'`, `'\n'`, `'\u{41}'`.
+        assert_eq!(kinds(r"'\\'")[0].0, TokKind::CharLit);
+        assert_eq!(kinds(r"'\n'")[0].0, TokKind::CharLit);
+        assert_eq!(kinds(r"'\u{41}'")[0], (TokKind::CharLit, "\\u{41}".into()));
+    }
+
+    #[test]
+    fn strings_plain_raw_byte() {
+        assert_eq!(
+            kinds(r#""hi \"there\"""#)[0],
+            (TokKind::StrLit, "hi \\\"there\\\"".into())
+        );
+        assert_eq!(
+            kinds(r##"r#"raw " quote"#"##)[0],
+            (TokKind::StrLit, "raw \" quote".into())
+        );
+        assert_eq!(kinds(r#"b"bytes""#)[0], (TokKind::StrLit, "bytes".into()));
+        assert_eq!(
+            kinds(r###"br##"raw bytes"##"###)[0],
+            (TokKind::StrLit, "raw bytes".into())
+        );
+        // Depth matters: a `"#` inside an `r##` string does not close it.
+        let t = kinds(r###"r##"a "# b"## tail"###);
+        assert_eq!(t[0], (TokKind::StrLit, "a \"# b".into()));
+        assert_eq!(t[1], (TokKind::Ident, "tail".into()));
+        // Zero-hash raw string containing a hash.
+        assert_eq!(kinds(r##"r"#""##)[0], (TokKind::StrLit, "#".into()));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_raw_strings() {
+        let t = kinds("let r#match = 5;");
+        assert!(t.contains(&(TokKind::Ident, "match".into())));
+        assert!(!t.iter().any(|(k, _)| *k == TokKind::StrLit));
+    }
+
+    #[test]
+    fn comments_nested_and_line() {
+        let t = kinds("a /* x /* y */ z */ b // tail\nc");
+        assert_eq!(t[0], (TokKind::Ident, "a".into()));
+        assert_eq!(t[1].0, TokKind::BlockComment);
+        assert_eq!(t[2], (TokKind::Ident, "b".into()));
+        assert_eq!(t[3], (TokKind::LineComment, " tail".into()));
+        assert_eq!(t[4], (TokKind::Ident, "c".into()));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"two\nline\"\nb\nr#\"raw\nmore\"#\nc";
+        let toks = lex(src);
+        let find = |name: &str| toks.iter().find(|t| t.text == name).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("two\nline"), 2);
+        assert_eq!(find("b"), 4);
+        assert_eq!(find("raw\nmore"), 5);
+        assert_eq!(find("c"), 7);
+    }
+
+    #[test]
+    fn maximal_munch_puncts() {
+        let t = kinds("a..=b a::b a->b a==b");
+        assert!(t.contains(&(TokKind::Punct, "..=".into())));
+        assert!(t.contains(&(TokKind::Punct, "::".into())));
+        assert!(t.contains(&(TokKind::Punct, "->".into())));
+        assert!(t.contains(&(TokKind::Punct, "==".into())));
+    }
+}

@@ -12,17 +12,24 @@
 //! * as a `#[test]` — `crates/simlint/tests/self_scan.rs` asserts the
 //!   workspace is clean, so `cargo test` alone catches regressions.
 //!
-//! Six rules, each grounded in a real hazard class of this codebase
-//! (see [`rules::RULES`]): `nondet-iter`, `wall-clock`,
-//! `ambient-random`, `float-cmp`, `panic-path`, `obs-key`. Suppression
+//! Since v2 the pipeline is token-level: a hand-rolled lexer
+//! ([`lexer`]) feeds an item/scope symbol pass ([`symbols`]) that
+//! builds a per-workspace function call graph ([`callgraph`]). Eight
+//! rules, each grounded in a real hazard class of this codebase (see
+//! [`rules::RULES`]): `nondet-iter`, `wall-clock`, `ambient-random`,
+//! `float-cmp`, `panic-path` (call-graph reachability from the engine
+//! hot loop), `unit-safety`, `obs-key`, and `obs-key-live`. Suppression
 //! is per line via a `simlint::allow` comment naming the rule and a
 //! quoted reason — the written justification is mandatory and its
 //! absence is itself a finding.
 
+pub mod callgraph;
 pub mod keytable;
+pub mod lexer;
 pub mod report;
 pub mod rules;
 pub mod scan;
+pub mod symbols;
 
 use std::fs;
 use std::io;
@@ -33,9 +40,17 @@ pub use report::Report;
 pub use rules::{Finding, Severity};
 
 /// Lints one file's source as if it lived at workspace-relative
-/// `rel_path` (path determines rule scopes). Exposed for fixture tests.
+/// `rel_path` (path determines rule scopes, including call-graph roots).
+/// Exposed for fixture tests.
 pub fn lint_source(rel_path: &str, source: &str, keys: &KeyTable) -> Vec<Finding> {
-    rules::lint_lines(rel_path, &scan::scan(source), keys)
+    lint_sources(&[(rel_path.to_string(), source.to_string())], keys)
+}
+
+/// Lints a set of `(workspace-relative path, source)` files as one
+/// unit: the panic-reachability call graph and obs-key liveness see all
+/// of them together. Exposed for the call-graph and liveness tests.
+pub fn lint_sources(files: &[(String, String)], keys: &KeyTable) -> Vec<Finding> {
+    rules::lint_files(files, keys)
 }
 
 /// Relative path of the obs-key source of truth.
@@ -54,21 +69,22 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
     collect_rs_files(root, root, &mut files)?;
     files.sort(); // deterministic scan order — simlint practices what it preaches
 
-    let mut report = Report::default();
+    let mut inputs: Vec<(String, String)> = Vec::with_capacity(files.len());
     for rel in files {
         let source = fs::read_to_string(root.join(&rel))?;
         let rel_str = rel
             .to_str()
             .map(|s| s.replace('\\', "/"))
             .unwrap_or_default();
-        report
-            .findings
-            .extend(lint_source(&rel_str, &source, &keys));
-        report.files_scanned += 1;
+        inputs.push((rel_str, source));
     }
-    report
-        .findings
-        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    // One pass over everything: the panic-reachability call graph and
+    // the obs-key liveness rule need the whole workspace at once.
+    let mut report = Report {
+        files_scanned: inputs.len(),
+        ..Report::default()
+    };
+    report.findings = rules::lint_files(&inputs, &keys);
     Ok(report)
 }
 

@@ -16,22 +16,32 @@ OPTIONS:
     --root DIR        workspace to scan (default: nearest [workspace] above cwd)
     --json FILE       also write a machine-readable JSON report to FILE
     --show-warnings   print warn-severity findings individually (always in JSON)
+    --max-ms N        fail when the whole scan takes longer than N ms
+                      (CI smoke threshold for lint runtime)
     --list-rules      print the rule table and exit
     -h, --help        this help
 
-Exit status: 0 when no deny-severity findings, 1 otherwise.
+Exit status: 0 when no deny-severity findings (and within --max-ms), 1 otherwise.
 Suppress a finding with: // simlint::allow(<rule>, \"written justification\")";
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json_out: Option<PathBuf> = None;
     let mut show_warnings = false;
+    let mut max_ms: Option<u128> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => root = args.next().map(PathBuf::from),
             "--json" => json_out = args.next().map(PathBuf::from),
             "--show-warnings" => show_warnings = true,
+            "--max-ms" => match args.next().and_then(|v| v.parse::<u128>().ok()) {
+                Some(v) => max_ms = Some(v),
+                None => {
+                    eprintln!("simlint: --max-ms needs an integer argument\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             "--list-rules" => {
                 for (name, what) in RULES {
                     println!("{name:15} {what}");
@@ -61,6 +71,8 @@ fn main() -> ExitCode {
         }
     };
 
+    // simlint::allow(wall-clock, "lint-runtime smoke threshold: measures the linter's own host time, never simulation state")
+    let started = std::time::Instant::now();
     let report = match lint_workspace(&root) {
         Ok(r) => r,
         Err(e) => {
@@ -68,6 +80,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let elapsed_ms = started.elapsed().as_millis();
 
     if let Some(path) = &json_out {
         if let Err(e) = std::fs::write(path, report.to_json()) {
@@ -90,16 +103,24 @@ fn main() -> ExitCode {
         }
     }
     println!(
-        "simlint: {} files scanned, {} deny, {} warn{}",
+        "simlint: {} files scanned, {} deny, {} warn in {}ms{}",
         report.files_scanned,
         report.deny_count(),
         report.warn_count(),
+        elapsed_ms,
         if report.warn_count() > 0 && !show_warnings {
             " (rerun with --show-warnings to list)"
         } else {
             ""
         }
     );
+
+    if let Some(max) = max_ms {
+        if elapsed_ms > max {
+            eprintln!("simlint: scan took {elapsed_ms}ms, over the --max-ms {max} threshold");
+            return ExitCode::FAILURE;
+        }
+    }
 
     if report.is_clean() {
         ExitCode::SUCCESS

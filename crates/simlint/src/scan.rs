@@ -113,9 +113,14 @@ pub fn scan(source: &str) -> Vec<Line> {
                     }
                 } else if c == '\'' {
                     if chars.get(i + 1) == Some(&'\\') {
-                        // Escaped char literal: skip to the closing quote.
+                        // Escaped char literal: consume the escaped
+                        // character *unconditionally* before scanning for
+                        // the closing quote — in `'\''` the escaped char
+                        // is itself a quote, and stopping on it would
+                        // leave the real closing quote behind as a stray
+                        // tick that mis-lexes whatever follows.
                         cur.code.push_str("' '");
-                        i += 2;
+                        i += 3; // tick, backslash, escaped char
                         while i < chars.len() && chars[i] != '\'' {
                             i += 1;
                         }
@@ -296,6 +301,42 @@ mod tests {
         let lines = scan("let c = '\"'; let d = '\\n'; live();\n");
         assert!(lines[0].code.contains("live();"));
         assert!(lines[0].literals.is_empty());
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_regression() {
+        // `'\''` used to terminate on the escaped quote, leaving the real
+        // closing quote behind to swallow the code that follows.
+        let lines = scan("let c = '\\''; let x = v[idx];\n");
+        assert!(
+            lines[0].code.contains("let x = v[idx];"),
+            "code after '\\'' must survive: {:?}",
+            lines[0].code
+        );
+        // `'\\'` and `'\u{41}'` stay single literals too.
+        let lines = scan("let a = '\\\\'; let b = '\\u{41}'; live();\n");
+        assert!(lines[0].code.contains("live();"), "{:?}", lines[0].code);
+    }
+
+    #[test]
+    fn nested_depth_raw_strings_regression() {
+        // An `r##` string containing a lower-depth closer (`"#`) must not
+        // close early, at any hash depth.
+        let lines = scan("let s = r##\"a \"# b\"##; tail();\n");
+        assert_eq!(lines[0].literals, vec!["a \"# b".to_string()]);
+        assert!(lines[0].code.contains("tail();"), "{:?}", lines[0].code);
+        // …including a full raw string of another depth inside.
+        let lines = scan("let s = r##\"r#\"x\"#\"##; tail();\n");
+        assert_eq!(lines[0].literals, vec!["r#\"x\"#".to_string()]);
+        assert!(lines[0].code.contains("tail();"), "{:?}", lines[0].code);
+    }
+
+    #[test]
+    fn lifetime_tick_then_char_literal_mix() {
+        // A lifetime and a char literal of the same letter on one line.
+        let lines = scan("fn f<'a>(x: &'a str) -> char { let c = 'a'; c }\n");
+        assert!(lines[0].code.contains("fn f<'a>"));
+        assert!(lines[0].code.contains("c }"), "{:?}", lines[0].code);
     }
 
     #[test]

@@ -1,0 +1,644 @@
+//! Item-level symbol pass: tracks module / `impl` / `fn` scopes over the
+//! token stream and records, per function, its call sites, panic sites,
+//! and slice-indexing sites — the inputs of the workspace call graph
+//! ([`crate::callgraph`]) and the panic-reachability rule.
+//!
+//! This is a scope *tracker*, not a parser: it recognizes exactly the
+//! item shapes this workspace uses (`mod name { … }`, `impl [Trait for]
+//! Type { … }`, `trait Name { … }`, `fn name(…) { … }`, `use …;`) and
+//! treats every other brace pair as an anonymous block. That is enough
+//! to qualify every function as `crate::module::Type::name`, to know
+//! which code is `#[cfg(test)]`-gated, and to attribute call sites to
+//! their enclosing function.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{Tok, TokKind};
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Callee name (the identifier directly before the `(`).
+    pub name: String,
+    /// `Q` in `Q::name(…)` when the call is path-qualified.
+    pub qualifier: Option<String>,
+    /// True for `.name(…)` method-call syntax.
+    pub method: bool,
+    /// 1-based line.
+    pub line: usize,
+}
+
+/// One site that can panic at runtime.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    /// What panics: `unwrap`, `expect`, `panic!`, `unreachable!`, ….
+    pub what: String,
+    /// 1-based line.
+    pub line: usize,
+}
+
+/// One function (free or associated) found in a file.
+#[derive(Debug, Clone)]
+pub struct FnSym {
+    /// Function name.
+    pub name: String,
+    /// Inline-module path within the file (e.g. `["tests"]`).
+    pub module: Vec<String>,
+    /// `impl`/`trait` type the function is associated with, if any.
+    pub self_ty: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// True when the function is `#[cfg(test)]`-gated or `#[test]`.
+    pub is_test: bool,
+    /// Calls made from the body.
+    pub calls: Vec<Call>,
+    /// Panic-family sites in the body.
+    pub panics: Vec<PanicSite>,
+    /// Lines with `expr[…]` indexing in the body.
+    pub index_lines: Vec<usize>,
+}
+
+impl FnSym {
+    /// `Type::name` or plain `name` — how findings refer to the function.
+    pub fn display_name(&self) -> String {
+        match &self.self_ty {
+            Some(ty) => format!("{ty}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Symbol information for one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileSymbols {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Crate the file belongs to (`crates/<name>/…` or the root crate).
+    pub crate_name: String,
+    /// Every function found, in source order.
+    pub fns: Vec<FnSym>,
+    /// Types that have `impl` blocks in this file.
+    pub impl_types: BTreeSet<String>,
+    /// Line ranges (1-based, inclusive) of `#[cfg(test)]`-gated items.
+    pub test_line_ranges: Vec<(usize, usize)>,
+    /// Token-index ranges (into the lexed stream) of `use …;` items.
+    pub use_tok_ranges: Vec<(usize, usize)>,
+    /// True when the file defines its own `fn expect` (so `self.expect(…)`
+    /// is a local call, not `Option::expect`).
+    pub defines_expect: bool,
+}
+
+impl FileSymbols {
+    /// True when `line` is inside `#[cfg(test)]`-gated code.
+    pub fn line_in_test(&self, line: usize) -> bool {
+        self.test_line_ranges
+            .iter()
+            .any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// True when the token at `idx` belongs to a `use` declaration.
+    pub fn tok_in_use(&self, idx: usize) -> bool {
+        self.use_tok_ranges
+            .iter()
+            .any(|&(a, b)| a <= idx && idx < b)
+    }
+}
+
+/// Reserved words that look like calls/index bases but are not.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "in", "match", "return", "loop", "break", "continue", "as",
+    "move", "ref", "mut", "let", "fn", "impl", "trait", "mod", "use", "pub", "struct", "enum",
+    "const", "static", "where", "unsafe", "dyn", "box", "await", "type", "crate", "super", "self",
+    "Self",
+];
+
+fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+/// Macro names whose invocation aborts the process.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Methods on `Option`/`Result` that panic on the empty/error arm.
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Derives the crate name from a workspace-relative path.
+pub fn crate_of(path: &str) -> String {
+    let mut parts = path.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => name.to_string(),
+        _ => "dmamem_repro".to_string(), // the root `src/` crate
+    }
+}
+
+enum Ctx {
+    /// `opened_range` marks the scope that *itself* carried the test
+    /// attribute (and thus opened a `test_line_ranges` entry) — inner
+    /// scopes that merely inherit test status must not close it.
+    Module {
+        name: String,
+        test: bool,
+        opened_range: bool,
+    },
+    Impl {
+        ty: String,
+        test: bool,
+        opened_range: bool,
+    },
+    Fn {
+        fn_idx: usize,
+        test: bool,
+        opened_range: bool,
+    },
+    Block {
+        test: bool,
+    },
+}
+
+impl Ctx {
+    fn test(&self) -> bool {
+        match self {
+            Ctx::Module { test, .. }
+            | Ctx::Impl { test, .. }
+            | Ctx::Fn { test, .. }
+            | Ctx::Block { test } => *test,
+        }
+    }
+
+    fn opened_range(&self) -> bool {
+        match self {
+            Ctx::Module { opened_range, .. }
+            | Ctx::Impl { opened_range, .. }
+            | Ctx::Fn { opened_range, .. } => *opened_range,
+            Ctx::Block { .. } => false,
+        }
+    }
+}
+
+/// Runs the symbol pass over a lexed file.
+pub fn analyze(path: &str, toks: &[Tok]) -> FileSymbols {
+    // Work over code tokens only; keep a map back to raw indices so
+    // `use`-ranges can be reported against the full stream.
+    let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+    let mut out = FileSymbols {
+        path: path.to_string(),
+        crate_name: crate_of(path),
+        ..FileSymbols::default()
+    };
+
+    let mut stack: Vec<Ctx> = Vec::new();
+    let mut pending_test = false; // a `#[cfg(test)]` / `#[test]` attribute seen
+    let mut pending_test_line = 0usize;
+    let mut j = 0usize;
+
+    let tok = |j: usize| -> Option<&Tok> { code.get(j).map(|&i| &toks[i]) };
+    let in_test = |stack: &[Ctx], pending: bool| pending || stack.iter().any(|c| c.test());
+
+    while j < code.len() {
+        let t = &toks[code[j]];
+        match t.kind {
+            TokKind::Punct if t.text == "#" => {
+                // Attribute: `#[…]` or `#![…]`. Scan the bracket group for
+                // `test` markers.
+                let mut k = j + 1;
+                if tok(k).is_some_and(|t| t.is_punct("!")) {
+                    k += 1;
+                }
+                if tok(k).is_some_and(|t| t.is_punct("[")) {
+                    let mut depth = 0i32;
+                    let mut saw_test = false;
+                    while let Some(t) = tok(k) {
+                        match t.text.as_str() {
+                            "[" if t.kind == TokKind::Punct => depth += 1,
+                            "]" if t.kind == TokKind::Punct => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            "test" if t.kind == TokKind::Ident => saw_test = true,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    if saw_test {
+                        pending_test = true;
+                        pending_test_line = t.line;
+                    }
+                    j = k + 1;
+                    continue;
+                }
+                j += 1;
+            }
+            TokKind::Ident if t.text == "use" => {
+                let start = code[j];
+                while j < code.len() && !toks[code[j]].is_punct(";") {
+                    j += 1;
+                }
+                let end = code.get(j).copied().unwrap_or(toks.len());
+                out.use_tok_ranges.push((start, end + 1));
+                j += 1;
+            }
+            TokKind::Ident if t.text == "mod" => {
+                let name = tok(j + 1).map(|t| t.text.clone()).unwrap_or_default();
+                // `mod name;` declares an out-of-line module: nothing to scope.
+                if tok(j + 2).is_some_and(|t| t.is_punct("{")) {
+                    let test = in_test(&stack, pending_test);
+                    let opened_range = test && pending_test;
+                    if opened_range {
+                        // Remember where the gated region starts.
+                        out.test_line_ranges.push((pending_test_line, usize::MAX));
+                    }
+                    stack.push(Ctx::Module {
+                        name,
+                        test,
+                        opened_range,
+                    });
+                    pending_test = false;
+                    j += 3;
+                } else {
+                    pending_test = false;
+                    j += 2;
+                }
+            }
+            TokKind::Ident if t.text == "impl" || t.text == "trait" => {
+                // Find the implemented/declared type name: the last path
+                // ident before the body `{` (after `for` when present),
+                // skipping generic parameter lists.
+                let is_impl = t.text == "impl";
+                let mut k = j + 1;
+                let mut ty = String::new();
+                let mut angle = 0i32;
+                while let Some(t) = tok(k) {
+                    match (&t.kind, t.text.as_str()) {
+                        (TokKind::Punct, "<") => angle += 1,
+                        (TokKind::Punct, ">") => angle -= 1,
+                        (TokKind::Punct, "<<") => angle += 2,
+                        (TokKind::Punct, ">>") => angle -= 2,
+                        (TokKind::Punct, "{") if angle <= 0 => break,
+                        (TokKind::Punct, ";") if angle <= 0 => break, // e.g. `impl Trait for X;` (never here)
+                        (TokKind::Ident, "where") if angle <= 0 => break,
+                        (TokKind::Ident, "for") if angle <= 0 => ty.clear(),
+                        (TokKind::Ident, name) if angle <= 0 && !is_keyword(name) => {
+                            ty = name.to_string();
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                // Advance to the `{` (skipping a `where` clause).
+                while let Some(t) = tok(k) {
+                    if t.is_punct("{") {
+                        break;
+                    }
+                    k += 1;
+                }
+                if tok(k).is_some() {
+                    let test = in_test(&stack, pending_test);
+                    let opened_range = test && pending_test;
+                    if opened_range {
+                        out.test_line_ranges.push((pending_test_line, usize::MAX));
+                    }
+                    if is_impl && !ty.is_empty() {
+                        out.impl_types.insert(ty.clone());
+                    }
+                    stack.push(Ctx::Impl {
+                        ty,
+                        test,
+                        opened_range,
+                    });
+                    pending_test = false;
+                    j = k + 1;
+                } else {
+                    pending_test = false;
+                    j = k;
+                }
+            }
+            TokKind::Ident if t.text == "fn" => {
+                let name = tok(j + 1).map(|t| t.text.clone()).unwrap_or_default();
+                let line = t.line;
+                let test = in_test(&stack, pending_test);
+                if name == "expect" {
+                    out.defines_expect = true;
+                }
+                // Scan the signature to the body `{` or a bodiless `;`.
+                let mut k = j + 2;
+                let mut angle = 0i32;
+                let mut paren = 0i32;
+                let mut has_body = false;
+                while let Some(t) = tok(k) {
+                    match (&t.kind, t.text.as_str()) {
+                        (TokKind::Punct, "<") => angle += 1,
+                        (TokKind::Punct, ">") => angle -= 1,
+                        (TokKind::Punct, "(") => paren += 1,
+                        (TokKind::Punct, ")") => paren -= 1,
+                        (TokKind::Punct, "->") => {}
+                        (TokKind::Punct, "{") if paren == 0 => {
+                            has_body = true;
+                            break;
+                        }
+                        (TokKind::Punct, ";") if paren == 0 && angle <= 0 => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                if has_body {
+                    let module = stack
+                        .iter()
+                        .filter_map(|c| match c {
+                            Ctx::Module { name, .. } => Some(name.clone()),
+                            _ => None,
+                        })
+                        .collect();
+                    let self_ty = stack.iter().rev().find_map(|c| match c {
+                        Ctx::Impl { ty, .. } if !ty.is_empty() => Some(ty.clone()),
+                        _ => None,
+                    });
+                    out.fns.push(FnSym {
+                        name,
+                        module,
+                        self_ty,
+                        line,
+                        is_test: test || crate::rules::is_test_path(path),
+                        calls: Vec::new(),
+                        panics: Vec::new(),
+                        index_lines: Vec::new(),
+                    });
+                    let opened_range = test && pending_test;
+                    if opened_range {
+                        out.test_line_ranges.push((pending_test_line, usize::MAX));
+                    }
+                    stack.push(Ctx::Fn {
+                        fn_idx: out.fns.len() - 1,
+                        test,
+                        opened_range,
+                    });
+                    pending_test = false;
+                    j = k + 1;
+                } else {
+                    pending_test = false;
+                    j = k + 1;
+                }
+            }
+            TokKind::Punct if t.text == "{" => {
+                let test = in_test(&stack, false);
+                stack.push(Ctx::Block { test });
+                j += 1;
+            }
+            TokKind::Punct if t.text == "}" => {
+                if let Some(ctx) = stack.pop() {
+                    if ctx.opened_range() {
+                        // Close the innermost still-open gated range.
+                        if let Some(r) = out
+                            .test_line_ranges
+                            .iter_mut()
+                            .rev()
+                            .find(|r| r.1 == usize::MAX)
+                        {
+                            r.1 = t.line;
+                        }
+                    }
+                }
+                j += 1;
+            }
+            _ => {
+                // Inside a function body: record calls, panic sites, and
+                // indexing.
+                let fn_idx = stack.iter().rev().find_map(|c| match c {
+                    Ctx::Fn { fn_idx, .. } => Some(*fn_idx),
+                    _ => None,
+                });
+                if let Some(fi) = fn_idx {
+                    record_site(&mut out, fi, toks, &code, j);
+                }
+                j += 1;
+            }
+        }
+    }
+    // Close any ranges left open at EOF.
+    let last_line = toks.last().map(|t| t.line).unwrap_or(1);
+    for r in &mut out.test_line_ranges {
+        if r.1 == usize::MAX {
+            r.1 = last_line;
+        }
+    }
+    out
+}
+
+/// Records one call / panic / index site at code position `j` into fn `fi`.
+fn record_site(out: &mut FileSymbols, fi: usize, toks: &[Tok], code: &[usize], j: usize) {
+    let t = &toks[code[j]];
+    let next = code.get(j + 1).map(|&i| &toks[i]);
+    let prev = j.checked_sub(1).map(|p| &toks[code[p]]);
+
+    if t.kind == TokKind::Ident && !is_keyword(&t.text) {
+        // Macro invocation `name!(…)` — only the panic family matters.
+        if next.is_some_and(|n| n.is_punct("!")) {
+            if PANIC_MACROS.contains(&t.text.as_str()) {
+                out.fns[fi].panics.push(PanicSite {
+                    what: format!("{}!", t.text),
+                    line: t.line,
+                });
+            }
+            return;
+        }
+        if next.is_some_and(|n| n.is_punct("(")) {
+            let method = prev.is_some_and(|p| p.is_punct("."));
+            if method && PANIC_METHODS.contains(&t.text.as_str()) {
+                // `self.expect(…)` is a local call when the file defines
+                // its own `fn expect` (the obs JSON reader does).
+                let local_expect = t.text == "expect"
+                    && out.defines_expect
+                    && j.checked_sub(2)
+                        .is_some_and(|p| toks[code[p]].is_ident("self"));
+                if !local_expect {
+                    out.fns[fi].panics.push(PanicSite {
+                        what: t.text.clone(),
+                        line: t.line,
+                    });
+                    return;
+                }
+            }
+            let qualifier = if prev.is_some_and(|p| p.is_punct("::")) {
+                j.checked_sub(2)
+                    .map(|p| &toks[code[p]])
+                    .filter(|q| q.kind == TokKind::Ident)
+                    .map(|q| q.text.clone())
+            } else {
+                None
+            };
+            out.fns[fi].calls.push(Call {
+                name: t.text.clone(),
+                qualifier,
+                method,
+                line: t.line,
+            });
+        }
+        return;
+    }
+
+    if t.is_punct("[") {
+        // `expr[…]` indexing: the `[` directly follows an index-able
+        // expression tail. Array literals (`in [a, b]`, `= [0; N]`),
+        // attributes, and slice types never do.
+        let indexable = match prev {
+            Some(p) => match p.kind {
+                TokKind::Ident => !is_keyword(&p.text) || p.text == "self",
+                TokKind::Punct => p.text == ")" || p.text == "]",
+                _ => false,
+            },
+            None => false,
+        };
+        if indexable {
+            out.fns[fi].index_lines.push(t.line);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn syms(src: &str) -> FileSymbols {
+        analyze("crates/dmamem/src/x.rs", &lex(src))
+    }
+
+    #[test]
+    fn free_and_assoc_fns_are_qualified() {
+        let s = syms(
+            "fn free() {}\n\
+             impl Foo { fn method(&self) {} }\n\
+             impl fmt::Display for Bar { fn fmt(&self) {} }\n\
+             mod inner { fn nested() {} }\n",
+        );
+        let names: Vec<String> = s.fns.iter().map(|f| f.display_name()).collect();
+        assert_eq!(names, ["free", "Foo::method", "Bar::fmt", "nested"]);
+        assert_eq!(s.fns[3].module, vec!["inner".to_string()]);
+        assert!(s.impl_types.contains("Foo"));
+        assert!(s.impl_types.contains("Bar"));
+    }
+
+    #[test]
+    fn calls_panics_and_indexing_attach_to_the_right_fn() {
+        let s = syms(
+            "fn a(v: &[u8]) -> u8 {\n\
+                 helper(1);\n\
+                 let x = v.first().unwrap();\n\
+                 Foo::make();\n\
+                 v[0] + x\n\
+             }\n\
+             fn b() { other(); }\n",
+        );
+        let a = &s.fns[0];
+        assert!(a.calls.iter().any(|c| c.name == "helper" && !c.method));
+        assert!(a
+            .calls
+            .iter()
+            .any(|c| c.name == "make" && c.qualifier.as_deref() == Some("Foo")));
+        assert!(a.calls.iter().any(|c| c.name == "first" && c.method));
+        assert_eq!(a.panics.len(), 1);
+        assert_eq!(a.panics[0].what, "unwrap");
+        assert_eq!(a.index_lines, vec![5]);
+        let b = &s.fns[1];
+        assert!(b.calls.iter().any(|c| c.name == "other"));
+        assert!(b.panics.is_empty());
+    }
+
+    #[test]
+    fn panic_macros_are_sites_not_calls() {
+        let s = syms("fn f() { panic!(\"boom\"); vec![1]; format!(\"x\"); }\n");
+        assert_eq!(s.fns[0].panics.len(), 1);
+        assert_eq!(s.fns[0].panics[0].what, "panic!");
+        assert!(!s.fns[0].calls.iter().any(|c| c.name == "vec"));
+    }
+
+    #[test]
+    fn array_literals_and_attrs_are_not_indexing() {
+        let s = syms("fn f(m: M) { for c in [m.from, m.to] { touch(c); } let a = [0u8; 4]; }\n");
+        assert!(s.fns[0].index_lines.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_gates_fns_and_ranges() {
+        let src = "\
+fn live() {}
+#[cfg(test)]
+mod tests {
+    fn t() { x.unwrap(); }
+}
+fn after() {}
+";
+        let s = syms(src);
+        let t = s.fns.iter().find(|f| f.name == "t").unwrap();
+        assert!(t.is_test);
+        assert!(!s.fns.iter().find(|f| f.name == "live").unwrap().is_test);
+        assert!(!s.fns.iter().find(|f| f.name == "after").unwrap().is_test);
+        assert!(s.line_in_test(4));
+        assert!(!s.line_in_test(1));
+        assert!(!s.line_in_test(6));
+    }
+
+    #[test]
+    fn test_attr_marks_single_fn() {
+        let s = syms("#[test]\nfn check() { assert!(true); }\nfn live() {}\n");
+        assert!(s.fns[0].is_test);
+        assert!(!s.fns[1].is_test);
+    }
+
+    #[test]
+    fn use_ranges_cover_imports() {
+        let src = "use std::collections::HashMap;\nfn f() { let m = HashMap::new(); }\n";
+        let toks = lex(src);
+        let s = analyze("crates/dmamem/src/x.rs", &toks);
+        let hash_idxs: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("HashMap"))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(hash_idxs.len(), 2);
+        assert!(s.tok_in_use(hash_idxs[0]));
+        assert!(!s.tok_in_use(hash_idxs[1]));
+    }
+
+    #[test]
+    fn local_expect_definition_suppresses_panic_site() {
+        let src = "\
+impl Reader {
+    fn expect(&mut self, b: u8) -> Result<(), E> { Ok(()) }
+    fn parse(&mut self) { self.expect(b'\"'); }
+}
+";
+        let s = syms(src);
+        let parse = s.fns.iter().find(|f| f.name == "parse").unwrap();
+        assert!(parse.panics.is_empty());
+        assert!(parse.calls.iter().any(|c| c.name == "expect"));
+    }
+
+    #[test]
+    fn helper_fn_inside_test_mod_does_not_close_its_range() {
+        // Regression: a helper `fn` with no `#[test]` attribute inside a
+        // `#[cfg(test)] mod` inherits test status; its closing `}` must
+        // not close the *module's* gated range early.
+        let src = "\
+fn live() {}
+#[cfg(test)]
+mod tests {
+    fn helper() { x.unwrap(); }
+    fn another() { accrue(1.5); }
+}
+";
+        let s = syms(src);
+        for line in 2..=6 {
+            assert!(s.line_in_test(line), "line {line} must be test-gated");
+        }
+        assert!(!s.line_in_test(1));
+    }
+
+    #[test]
+    fn crate_names() {
+        assert_eq!(crate_of("crates/simcore/src/event.rs"), "simcore");
+        assert_eq!(crate_of("src/lib.rs"), "dmamem_repro");
+    }
+}

@@ -1,0 +1,109 @@
+//! Call-graph integration test: panic reachability over a synthetic
+//! multi-file, multi-module source set, through the public
+//! [`lint_sources`] API (so snippet filling and `simlint::allow`
+//! suppression are exercised too, not just the raw graph walk).
+
+use simlint::{lint_sources, Finding, KeyTable, Severity};
+
+fn lint_set(files: &[(&str, &str)]) -> Vec<Finding> {
+    let files: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect();
+    lint_sources(&files, &KeyTable::default())
+}
+
+fn panic_denies(findings: &[Finding]) -> Vec<&Finding> {
+    findings
+        .iter()
+        .filter(|f| f.rule == "panic-path" && f.severity == Severity::Deny)
+        .collect()
+}
+
+const SYSTEM: &str = "\
+pub struct System;
+impl System {
+    pub fn run(&mut self) {
+        let v = decode_slot(7);
+        audit(v);
+    }
+}
+";
+
+const HELPERS: &str = "\
+pub fn decode_slot(k: u32) -> u32 {
+    table_get(k)
+}
+
+fn table_get(k: u32) -> u32 {
+    TABLE.get(k as usize).copied().unwrap()
+}
+
+pub fn audit(_v: u32) {}
+
+pub mod cold {
+    pub fn never_called() {
+        panic!(\"diagnostics only\");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        helper_result().unwrap();
+    }
+}
+";
+
+#[test]
+fn reachability_crosses_files_and_stops_at_unreached_modules() {
+    let findings = lint_set(&[
+        ("crates/dmamem/src/system.rs", SYSTEM),
+        ("crates/dmamem/src/helpers.rs", HELPERS),
+    ]);
+    let denies = panic_denies(&findings);
+    // Exactly one deny: the unwrap reachable through run → decode_slot →
+    // table_get. The panic in the never-called `cold` module and the
+    // unwrap in the `#[cfg(test)]` module must both stay silent.
+    assert_eq!(denies.len(), 1, "{findings:?}");
+    let f = denies[0];
+    assert_eq!(f.path, "crates/dmamem/src/helpers.rs");
+    assert_eq!(f.line, 6);
+    assert!(
+        f.message.contains("System::run → decode_slot → table_get"),
+        "chain missing from: {}",
+        f.message
+    );
+    assert!(f.snippet.contains("unwrap"), "snippet: {}", f.snippet);
+}
+
+#[test]
+fn allow_at_the_site_suppresses_across_the_whole_graph() {
+    let annotated = HELPERS.replace(
+        "    TABLE.get(k as usize).copied().unwrap()",
+        "    // simlint::allow(panic-path, \"slot keys are validated at enqueue time\")\n\
+         \x20   TABLE.get(k as usize).copied().unwrap()",
+    );
+    let findings = lint_set(&[
+        ("crates/dmamem/src/system.rs", SYSTEM),
+        ("crates/dmamem/src/helpers.rs", &annotated),
+    ]);
+    assert!(panic_denies(&findings).is_empty(), "{findings:?}");
+    assert!(
+        !findings.iter().any(|f| f.rule == "unused-allow"),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn panic_in_a_root_file_itself_is_denied_without_any_call_edge() {
+    let findings = lint_set(&[(
+        "crates/simcore/src/event.rs",
+        "impl Queue {\n    fn pop(&mut self) -> u64 {\n        self.heap.pop().expect(\"pop on empty queue\")\n    }\n}\n",
+    )]);
+    let denies = panic_denies(&findings);
+    assert_eq!(denies.len(), 1, "{findings:?}");
+    assert_eq!(denies[0].line, 3);
+    assert!(denies[0].message.contains("Queue::pop"));
+}

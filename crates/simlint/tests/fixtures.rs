@@ -7,7 +7,7 @@
 //! rule scopes are path-driven.
 
 use simlint::rules::Severity;
-use simlint::{lint_source, KeyTable};
+use simlint::{lint_source, lint_sources, KeyTable, OBS_SOURCE};
 
 fn table() -> KeyTable {
     let mut t = KeyTable::default();
@@ -105,6 +105,48 @@ fn panic_path_pair() {
         "panic_path_bad.rs",
         "panic_path_allowed.rs",
         "crates/dmamem/src/controller/fixture.rs",
+    );
+}
+
+#[test]
+fn panic_reachability_pair() {
+    // The seeded unwrap sits two call-graph hops below the hot-loop
+    // entry — only the reachability walk can connect them (the
+    // acceptance demo for the v2 panic rule).
+    assert_pair(
+        "panic-path",
+        "panic_reach_bad.rs",
+        "panic_reach_allowed.rs",
+        "crates/dmamem/src/system.rs",
+    );
+}
+
+#[test]
+fn unit_safety_pair() {
+    assert_pair(
+        "unit-safety",
+        "unit_safety_bad.rs",
+        "unit_safety_allowed.rs",
+        "crates/dmamem/src/fixture.rs",
+    );
+}
+
+#[test]
+fn obs_key_live_pair() {
+    // Liveness needs table spans, so the keys parse from the fixture
+    // itself and the fixture is linted at the obs source path.
+    let bad = fixture("obs_key_live_bad.rs");
+    let keys = KeyTable::from_obs_source(&bad).unwrap();
+    let fs = lint_sources(&[(OBS_SOURCE.to_string(), bad)], &keys);
+    assert!(deny_rules(&fs).contains(&"obs-key-live"), "{fs:?}");
+
+    let ok = fixture("obs_key_live_allowed.rs");
+    let keys = KeyTable::from_obs_source(&ok).unwrap();
+    let fs = lint_sources(&[(OBS_SOURCE.to_string(), ok)], &keys);
+    assert!(deny_rules(&fs).is_empty(), "{fs:?}");
+    assert!(
+        !fs.iter().any(|f| f.rule == "unused-allow"),
+        "obs_key_live_allowed.rs has a stale allow: {fs:?}"
     );
 }
 

@@ -1,14 +1,19 @@
-// Twin: total_cmp fixes the sort; the equality guard is allow-annotated
-// as an exact-zero sentinel.
+// Twin: total_cmp fixes the sort; the exact-zero division guard needs
+// no annotation since the rule exempts zero sentinels; the nonzero
+// equality carries a written justification.
 pub fn rank(v: &mut [f64]) {
     v.sort_by(|a, b| f64::total_cmp(b, a));
 }
 
 pub fn fraction(part: f64, total: f64) -> f64 {
-    // simlint::allow(float-cmp, "exact-zero sentinel: division guard, not a tolerance comparison")
     if total == 0.0 {
         0.0
     } else {
         part / total
     }
+}
+
+pub fn is_unit(x: f64) -> bool {
+    // simlint::allow(float-cmp, "protocol sentinel: callers pass exactly 1.0 for the unit scale, never a computed value")
+    x == 1.0
 }

@@ -1,0 +1,17 @@
+// Seeded violation: `dmamem.dead_key` is registered in the key table but
+// no emission site anywhere mentions it — a dead registration that would
+// silently pad every audit replay.
+pub const METRIC_KEYS: &[&str] = &[
+    "dmamem.wakes",
+    "dmamem.dead_key",
+];
+pub const PROF_KEYS: &[&str] = &["dmamem.prof.events"];
+pub const EVENT_KINDS: &[&str] = &["epoch_tick"];
+pub const TRACE_KEYS: &[&str] = &["dmamem.trace.wakeup"];
+
+pub fn register(r: &mut Registry) {
+    r.counter("dmamem.wakes");
+    r.counter("dmamem.prof.events");
+    r.kind("epoch_tick");
+    r.span("dmamem.trace.wakeup");
+}

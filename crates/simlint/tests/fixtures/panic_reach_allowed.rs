@@ -1,0 +1,13 @@
+// Allow-annotated twin: the reachable panic carries a written invariant.
+pub fn dispatch(slots: &[u64]) -> u64 {
+    next_slot(slots)
+}
+
+fn next_slot(slots: &[u64]) -> u64 {
+    decode(slots)
+}
+
+fn decode(slots: &[u64]) -> u64 {
+    // simlint::allow(panic-path, "dispatch is only entered with a non-empty slot table; emptiness is a scheduler bug")
+    *slots.first().expect("dispatch with empty slot table")
+}

@@ -1,0 +1,13 @@
+// Seeded violation: the hot-loop entry reaches an unwrap two call-graph
+// hops down — no per-line scope connects them, only the reachability walk.
+pub fn dispatch(slots: &[u64]) -> u64 {
+    next_slot(slots)
+}
+
+fn next_slot(slots: &[u64]) -> u64 {
+    decode(slots)
+}
+
+fn decode(slots: &[u64]) -> u64 {
+    *slots.first().unwrap()
+}

@@ -1,0 +1,17 @@
+// Allow-annotated twin: the unit mix is a justified figure of merit,
+// the wattage is a named constant, and a ratio of unlike units (a
+// derived quantity) is exempt by design.
+const IDLE_DRAW_MW: f64 = 2.5;
+
+pub fn drift(idle_ns: f64, spent_mj: f64) -> f64 {
+    // simlint::allow(unit-safety, "deliberate unitless figure of merit: joules weighted by idle time for the sweep report")
+    spent_mj + idle_ns
+}
+
+pub fn mean_power(spent_mj: f64, window_ns: f64) -> f64 {
+    spent_mj / window_ns
+}
+
+pub fn leak(acc: &mut Accumulator) {
+    acc.accrue(IDLE_DRAW_MW);
+}

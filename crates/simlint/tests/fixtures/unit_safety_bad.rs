@@ -1,0 +1,9 @@
+// Seeded violations: dimensionally unsound arithmetic (time added to
+// energy) and a magic wattage literal fed straight into the accumulator.
+pub fn drift(idle_ns: f64, spent_mj: f64) -> f64 {
+    spent_mj + idle_ns
+}
+
+pub fn leak(acc: &mut Accumulator) {
+    acc.accrue(2.5);
+}

@@ -41,11 +41,24 @@
 //! `trace_diff` regression differ, `--attrib-summary` prints per-run
 //! bucket percentages, and `--check` validates every span tree and the
 //! bucket-sum invariant, failing the process on any violation.
+//! `--trace-spill N` shrinks the exported run's span ring to `N` records
+//! and streams displaced records to the `--trace-out` file incrementally
+//! (bounded memory; loss shows up in the `dmamem.trace.spilled` /
+//! `dmamem.trace.dropped` counters, never silently).
+//!
+//! `--serve ADDR` (e.g. `127.0.0.1:9091`, port `0` for ephemeral) starts
+//! the live telemetry server for the duration of the run: `GET /metrics`
+//! is Prometheus text exposition of the live snapshot, `GET /status`
+//! reports figure/wave/job progress, heartbeat age, and the engine's
+//! sim-clock watermark, and `GET /events?since=N` tails the event ring.
+//! The bound address goes to stderr; stdout and every artifact stay
+//! byte-identical with the server on or off.
 
 use std::env;
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use bench::sweep::SweepRunner;
 use bench::{
@@ -53,6 +66,8 @@ use bench::{
     table2_rows_text, ALL_WORKLOADS, BUS_RATE_SWEEP, CP_SWEEP, INTENSITY_SWEEP, PROC_SWEEP,
 };
 use dmamem::experiments::{self, ExpConfig};
+use simcore::obs::serve::serve;
+use simcore::obs::{LiveState, ServerHandle, SpillSink};
 use simcore::SimDuration;
 
 fn main() -> ExitCode {
@@ -73,6 +88,8 @@ fn main() -> ExitCode {
     let mut attrib_out: Option<PathBuf> = None;
     let mut attrib_summary = false;
     let mut trace_check = false;
+    let mut trace_spill: Option<usize> = None;
+    let mut serve_addr: Option<String> = None;
     let mut args = env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -124,6 +141,14 @@ fn main() -> ExitCode {
             },
             "--attrib-summary" => attrib_summary = true,
             "--check" => trace_check = true,
+            "--trace-spill" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => trace_spill = Some(v),
+                _ => return usage("--trace-spill needs a positive record count"),
+            },
+            "--serve" => match args.next() {
+                Some(a) => serve_addr = Some(a),
+                None => return usage("--serve needs an address (e.g. 127.0.0.1:0)"),
+            },
             "--help" | "-h" => return usage(""),
             other if !other.starts_with('-') => exhibit = other.to_string(),
             other => return usage(&format!("unknown flag {other}")),
@@ -131,6 +156,9 @@ fn main() -> ExitCode {
     }
     if quick && !ms_set {
         ms = 2;
+    }
+    if trace_spill.is_some() && trace_out.is_none() {
+        return usage("--trace-spill requires --trace-out (it streams into that file)");
     }
     let exp = ExpConfig {
         duration: SimDuration::from_ms(ms),
@@ -141,6 +169,26 @@ fn main() -> ExitCode {
         // Arms the wall-clock phase timers; deterministic counters are
         // always collected and results stay byte-identical either way.
         runner = runner.with_profiling(true);
+    }
+    let mut server: Option<ServerHandle> = None;
+    if let Some(addr) = &serve_addr {
+        let state = Arc::new(LiveState::new());
+        match serve(addr, Arc::clone(&state)) {
+            Ok(h) => {
+                // Bound address on stderr: stdout must stay byte-identical
+                // with and without --serve.
+                eprintln!(
+                    "(live telemetry on http://{}/ — endpoints: /metrics /status /events)",
+                    h.addr()
+                );
+                server = Some(h);
+            }
+            Err(e) => {
+                eprintln!("error: cannot bind telemetry server on {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        runner = runner.with_live(state);
     }
 
     if let Some(dir) = &csv_dir {
@@ -327,7 +375,20 @@ fn main() -> ExitCode {
     {
         matched = true;
         section("Trace report: causally-traced runs (fig-2 workloads + DMA-TA)");
-        let runs = runner.traced_runs(exp, 0.10, 1 << 20);
+        // With --trace-spill the exported run keeps only N records
+        // resident and streams the rest straight into --trace-out.
+        let spill_sink = match (&trace_spill, &trace_out) {
+            (Some(_), Some(path)) => match SpillSink::file(path) {
+                Ok(sink) => Some(sink),
+                Err(e) => {
+                    eprintln!("error: cannot create {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            },
+            _ => None,
+        };
+        let capacity = trace_spill.unwrap_or(1 << 20);
+        let mut runs = runner.traced_runs_spill(exp, 0.10, capacity, spill_sink);
         let attribs: Vec<_> = runs.iter().map(|r| r.attribution()).collect();
         for a in &attribs {
             println!("{}", a.summary_line());
@@ -360,19 +421,40 @@ fn main() -> ExitCode {
             }
         }
         if let Some(path) = &trace_out {
-            // The DMA-TA run (last) is the causally richest export.
-            let trace = runs
-                .last()
-                .and_then(|r| r.result.trace.as_ref())
-                .expect("traced run");
-            match fs::write(path, trace.to_chrome_json()) {
-                Ok(()) => println!(
+            if trace_spill.is_some() {
+                // Spill mode: displaced records are already in the file;
+                // append the retained ring and the JSON footer.
+                let trace = runs
+                    .last_mut()
+                    .and_then(|r| r.result.trace.as_mut())
+                    .expect("traced run");
+                let spilled = trace.spilled();
+                trace.finalize_spill();
+                println!(
                     "(Perfetto trace written to {}; open at https://ui.perfetto.dev)",
                     path.display()
-                ),
-                Err(e) => {
-                    eprintln!("error: cannot write {}: {e}", path.display());
-                    return ExitCode::FAILURE;
+                );
+                eprintln!(
+                    "(spill mode: {} record(s) streamed, {} dropped, ring capacity {})",
+                    spilled,
+                    trace.dropped(),
+                    capacity
+                );
+            } else {
+                // The DMA-TA run (last) is the causally richest export.
+                let trace = runs
+                    .last()
+                    .and_then(|r| r.result.trace.as_ref())
+                    .expect("traced run");
+                match fs::write(path, trace.to_chrome_json()) {
+                    Ok(()) => println!(
+                        "(Perfetto trace written to {}; open at https://ui.perfetto.dev)",
+                        path.display()
+                    ),
+                    Err(e) => {
+                        eprintln!("error: cannot write {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
                 }
             }
         }
@@ -433,6 +515,10 @@ fn main() -> ExitCode {
             runner.threads()
         );
     }
+    // Orderly shutdown (Drop also covers the early-return paths).
+    if let Some(h) = server {
+        h.shutdown();
+    }
     ExitCode::SUCCESS
 }
 
@@ -441,7 +527,7 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: experiments [table1|table2|fig2a|fig2b|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|groups|tpch|trace-report|all] [--ms N] [--seed S] [--threads N] [--quick] [--csv DIR] [--timing-out FILE] [--prof-out FILE] [--prof-summary] [--events-out FILE] [--metrics-out FILE] [--obs-summary] [--trace-out FILE] [--attrib-out FILE] [--attrib-summary] [--check]"
+        "usage: experiments [table1|table2|fig2a|fig2b|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|groups|tpch|trace-report|all] [--ms N] [--seed S] [--threads N] [--quick] [--csv DIR] [--timing-out FILE] [--prof-out FILE] [--prof-summary] [--events-out FILE] [--metrics-out FILE] [--obs-summary] [--trace-out FILE] [--trace-spill N] [--attrib-out FILE] [--attrib-summary] [--serve ADDR] [--check]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

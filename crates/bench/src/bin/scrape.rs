@@ -1,0 +1,150 @@
+//! `scrape` — tiny HTTP client for the live telemetry server.
+//!
+//! CI (and humans without `curl`) use this to probe the `--serve`
+//! endpoints of a running `experiments` process:
+//!
+//! ```text
+//! scrape 127.0.0.1:9090 /metrics --require dmamem_sweep_jobs_done
+//! scrape 127.0.0.1:9090 /status  --check-heartbeat 30 --out status.json
+//! ```
+//!
+//! Exit code 0 means the request succeeded (HTTP 200) and every
+//! assertion passed; anything else is a failure with a message on
+//! stderr. The client is deliberately minimal: one GET, no keep-alive,
+//! no TLS — exactly what the std-only server on the other side speaks.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use simcore::obs::json;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(addr) = args.next() else {
+        return usage("missing server address");
+    };
+    if addr == "--help" || addr == "-h" {
+        return usage("");
+    }
+    let Some(path) = args.next() else {
+        return usage("missing request path (e.g. /metrics)");
+    };
+    let mut require: Vec<String> = Vec::new();
+    let mut check_heartbeat: Option<f64> = None;
+    let mut out: Option<std::path::PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--require" => match args.next() {
+                Some(s) => require.push(s),
+                None => return usage("--require needs a substring"),
+            },
+            "--check-heartbeat" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => check_heartbeat = Some(v),
+                None => return usage("--check-heartbeat needs a max age in seconds"),
+            },
+            "--out" => match args.next() {
+                Some(p) => out = Some(p.into()),
+                None => return usage("--out needs a file"),
+            },
+            other => return usage(&format!("unknown flag {other}")),
+        }
+    }
+
+    let body = match get(&addr, &path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: GET {path} from {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if body.is_empty() {
+        eprintln!("error: GET {path}: empty response body");
+        return ExitCode::FAILURE;
+    }
+    for needle in &require {
+        if !body.contains(needle.as_str()) {
+            eprintln!("error: GET {path}: response does not contain {needle:?}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(max_age) = check_heartbeat {
+        match heartbeat_age(&body) {
+            Ok(age) if age <= max_age => {
+                eprintln!("(heartbeat age {age:.3}s <= {max_age}s)");
+            }
+            Ok(age) => {
+                eprintln!("error: heartbeat is stale ({age:.3}s > {max_age}s)");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = &out {
+        if let Err(e) = std::fs::write(path, &body) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    } else {
+        print!("{body}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// One plain HTTP/1.1 GET; returns the response body after asserting a
+/// 200 status line. Wall-clock timeouts are fine here: this binary is a
+/// test/CI client, never part of the simulation.
+fn get(addr: &str, path: &str) -> Result<String, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| format!("timeout: {e}"))?;
+    stream
+        .set_write_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| format!("timeout: {e}"))?;
+    let mut stream = stream;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("send: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read: {e}"))?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| "malformed response (no header/body separator)".to_string())?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains(" 200 ") {
+        return Err(format!("unexpected status line {status:?}"));
+    }
+    Ok(body.to_string())
+}
+
+/// Extracts `heartbeat_age_secs` from a `/status` JSON body.
+fn heartbeat_age(body: &str) -> Result<f64, String> {
+    let value = json::parse(body).map_err(|e| format!("bad /status JSON: {e}"))?;
+    value
+        .get("heartbeat_age_secs")
+        .and_then(|v| v.as_f64())
+        .ok_or_else(|| "status has no numeric heartbeat_age_secs (no heartbeat yet?)".to_string())
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: scrape ADDR PATH [--require SUBSTRING]... [--check-heartbeat MAX_AGE_SECS] [--out FILE]"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -11,6 +11,7 @@
 //! [`TimingReport`] that renders as the committed `BENCH_sweep.json`
 //! baseline and as the timing table in `EXPERIMENTS.md`.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use dma_trace::TraceStats;
@@ -20,6 +21,7 @@ use dmamem::experiments::{
 };
 use dmamem::sweep::{MemoStats, ProfTotals, SweepCtx};
 use mempower::EnergyBreakdown;
+use simcore::obs::{LiveState, SpillSink};
 
 use crate::{ALL_WORKLOADS, BUS_RATE_SWEEP, CP_SWEEP, INTENSITY_SWEEP, PROC_SWEEP};
 
@@ -47,6 +49,7 @@ pub struct FigTime {
 pub struct SweepRunner {
     ctx: SweepCtx,
     timings: Vec<FigTime>,
+    live: Option<Arc<LiveState>>,
 }
 
 impl SweepRunner {
@@ -55,6 +58,7 @@ impl SweepRunner {
         SweepRunner {
             ctx: SweepCtx::new(threads),
             timings: Vec::new(),
+            live: None,
         }
     }
 
@@ -63,6 +67,21 @@ impl SweepRunner {
     /// bit-identical — see [`dmamem::sweep::SweepCtx::with_profiling`]).
     pub fn with_profiling(mut self, on: bool) -> Self {
         self.ctx = self.ctx.with_profiling(on);
+        self
+    }
+
+    /// Attaches shared live-telemetry state (see
+    /// [`dmamem::sweep::SweepCtx::with_live`]): each [`timed`] figure
+    /// publishes its name and a heartbeat, sweep waves and job counts
+    /// stream in as they run, and the instrumented observability run
+    /// mirrors its metrics snapshot and event tail into the live
+    /// `/metrics` and `/events` endpoints. Figure outputs stay
+    /// byte-identical with or without it.
+    ///
+    /// [`timed`]: SweepRunner::timed
+    pub fn with_live(mut self, live: Arc<LiveState>) -> Self {
+        self.ctx = self.ctx.with_live(Arc::clone(&live));
+        self.live = Some(live);
         self
     }
 
@@ -89,12 +108,19 @@ impl SweepRunner {
     /// Times `run` against the runner's context and records it under
     /// `figure`.
     pub fn timed<T>(&mut self, figure: &str, run: impl FnOnce(&SweepCtx) -> T) -> T {
+        if let Some(live) = &self.live {
+            live.set_figure(figure);
+            live.heartbeat();
+        }
         let memo_before = self.ctx.memo_stats();
         let prof_before = self.ctx.prof_totals();
         self.ctx.take_window_max_depth(); // reset the per-figure window
         let start = Instant::now();
         let out = run(&self.ctx);
         let ms = start.elapsed().as_secs_f64() * 1e3;
+        if let Some(live) = &self.live {
+            live.heartbeat();
+        }
         let memo = self.ctx.memo_stats();
         let mut prof = self.ctx.prof_totals().since(&prof_before);
         prof.max_heap_depth = self.ctx.take_window_max_depth();
@@ -176,15 +202,26 @@ impl SweepRunner {
     }
 
     /// The instrumented observability run, with its baseline memoized.
+    ///
+    /// With live telemetry attached, the run's metrics snapshot merges
+    /// into the live `/metrics` exposition and the tail of its event
+    /// stream lands in the `/events` ring.
     pub fn observed_run(
         &mut self,
         exp: ExpConfig,
         cp_limit: f64,
         event_capacity: usize,
     ) -> ObservedRun {
-        self.timed("observed", |ctx| {
+        let run = self.timed("observed", |ctx| {
             experiments::observed_run_ctx(ctx, exp, cp_limit, event_capacity)
-        })
+        });
+        if let (Some(live), Some(obs)) = (&self.live, run.result.obs.as_ref()) {
+            live.merge_metrics(&obs.metrics);
+            for (_, line) in obs.events.lines_since(0) {
+                live.push_event_line(line);
+            }
+        }
+        run
     }
 
     /// The causally-traced runs (Figure-2 workloads plus a DMA-TA run),
@@ -195,8 +232,21 @@ impl SweepRunner {
         cp_limit: f64,
         capacity: usize,
     ) -> Vec<TracedRun> {
+        self.traced_runs_spill(exp, cp_limit, capacity, None)
+    }
+
+    /// [`traced_runs`](SweepRunner::traced_runs) with bounded-memory
+    /// spill armed on the exported DMA-TA run (see
+    /// [`dmamem::experiments::traced_runs_spill_ctx`]).
+    pub fn traced_runs_spill(
+        &mut self,
+        exp: ExpConfig,
+        cp_limit: f64,
+        capacity: usize,
+        spill: Option<SpillSink>,
+    ) -> Vec<TracedRun> {
         self.timed("trace", |ctx| {
-            experiments::traced_runs_ctx(ctx, exp, cp_limit, capacity)
+            experiments::traced_runs_spill_ctx(ctx, exp, cp_limit, capacity, spill)
         })
     }
 }

@@ -1,0 +1,95 @@
+//! End-to-end tests for the `--serve` live telemetry flag.
+//!
+//! These drive the real `experiments` binary (via `CARGO_BIN_EXE_*`):
+//! one test scrapes the HTTP endpoints mid-sweep with a plain
+//! `TcpStream` client, the other pins the iron rule that `--serve`
+//! leaves stdout byte-identical — telemetry is observation, never
+//! perturbation.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+/// Spawns `experiments` with the given args, stderr piped.
+fn spawn_experiments(args: &[&str]) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn experiments")
+}
+
+/// Reads the child's stderr until the telemetry banner appears and
+/// returns the bound address (host:port).
+fn wait_for_bound_addr(child: &mut Child) -> String {
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut lines = BufReader::new(stderr).lines();
+    for line in lines.by_ref() {
+        let line = line.expect("read child stderr");
+        if let Some(rest) = line.split("http://").nth(1) {
+            return rest.split('/').next().expect("addr").to_string();
+        }
+    }
+    panic!("experiments exited without printing the telemetry banner");
+}
+
+/// One plain HTTP/1.1 GET; returns the full response (headers + body).
+fn get(addr: &str, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read response");
+    out
+}
+
+#[test]
+fn endpoints_answer_mid_sweep() {
+    // `all` keeps the process alive long enough to scrape mid-run; the
+    // child is killed once the assertions pass, so the test does not
+    // pay for the full sweep.
+    let mut child = spawn_experiments(&["all", "--quick", "--serve", "127.0.0.1:0"]);
+    let addr = wait_for_bound_addr(&mut child);
+
+    let status = get(&addr, "/status");
+    assert!(status.starts_with("HTTP/1.1 200 OK"), "{status}");
+    assert!(status.contains("\"figure\""), "{status}");
+    assert!(status.contains("\"jobs_done\""), "{status}");
+    assert!(status.contains("\"uptime_secs\""), "{status}");
+
+    let metrics = get(&addr, "/metrics");
+    assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+    assert!(metrics.contains("text/plain; version=0.0.4"), "{metrics}");
+
+    let events = get(&addr, "/events?since=0");
+    assert!(events.starts_with("HTTP/1.1 200 OK"), "{events}");
+    assert!(events.contains("X-Next-Seq:"), "{events}");
+
+    child.kill().expect("kill experiments");
+    let _ = child.wait();
+}
+
+#[test]
+fn serve_leaves_stdout_byte_identical() {
+    let run = |extra: &[&str]| -> Vec<u8> {
+        let mut args = vec!["fig2b", "--quick", "--seed", "7"];
+        args.extend_from_slice(extra);
+        let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+            .args(&args)
+            .output()
+            .expect("run experiments");
+        assert!(out.status.success(), "experiments failed: {args:?}");
+        out.stdout
+    };
+    let plain = run(&[]);
+    let served = run(&["--serve", "127.0.0.1:0"]);
+    assert!(!plain.is_empty());
+    assert_eq!(
+        plain, served,
+        "--serve must not perturb stdout: telemetry is observation only"
+    );
+}

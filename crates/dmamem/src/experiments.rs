@@ -33,6 +33,7 @@ use dma_trace::{
 };
 use iobus::BusConfig;
 use mempower::{EnergyBreakdown, PowerMode, PowerModel};
+use simcore::obs::SpillSink;
 use simcore::SimDuration;
 
 use crate::config::{Scheme, SystemConfig};
@@ -938,9 +939,12 @@ pub fn observed_run_ctx(
     let extra = Workload::OltpSt.client_extra_latency();
     let baseline = ctx.run(&config, Scheme::baseline(), &trace);
     let mu = mu_from_baseline(&config, &baseline, cp_limit, extra);
-    let result = ServerSimulator::new(config.clone(), Scheme::dma_ta_pl(mu, 2))
-        .with_observability(event_capacity)
-        .run(trace.trace());
+    let mut sim = ServerSimulator::new(config.clone(), Scheme::dma_ta_pl(mu, 2))
+        .with_observability(event_capacity);
+    if let Some(live) = ctx.live() {
+        sim = sim.with_live(std::sync::Arc::clone(live));
+    }
+    let result = sim.run(trace.trace());
     ObservedRun {
         workload: Workload::OltpSt.label().to_string(),
         scheme: result.scheme.clone(),
@@ -988,13 +992,31 @@ pub fn traced_runs_ctx(
     cp_limit: f64,
     capacity: usize,
 ) -> Vec<TracedRun> {
+    traced_runs_spill_ctx(ctx, exp, cp_limit, capacity, None)
+}
+
+/// [`traced_runs_ctx`] with bounded-memory spill armed on the final
+/// DMA-TA-PL(2) run (the one whose trace `--trace-out` exports): records
+/// displaced from the `capacity`-record ring stream to `spill` instead
+/// of being dropped. The baseline-traced runs keep the plain ring — only
+/// the exported trace needs the full record stream.
+pub fn traced_runs_spill_ctx(
+    ctx: &SweepCtx,
+    exp: ExpConfig,
+    cp_limit: f64,
+    capacity: usize,
+    spill: Option<SpillSink>,
+) -> Vec<TracedRun> {
     let config = paper_system();
     let mut runs = Vec::new();
     for w in [Workload::OltpSt, Workload::OltpDb] {
         let trace = w.shared_trace(ctx, exp);
-        let result = ServerSimulator::new(config.clone(), Scheme::baseline())
-            .with_tracing(capacity)
-            .run(trace.trace());
+        let mut sim =
+            ServerSimulator::new(config.clone(), Scheme::baseline()).with_tracing(capacity);
+        if let Some(live) = ctx.live() {
+            sim = sim.with_live(std::sync::Arc::clone(live));
+        }
+        let result = sim.run(trace.trace());
         runs.push(TracedRun {
             workload: w.label().to_string(),
             result,
@@ -1004,9 +1026,15 @@ pub fn traced_runs_ctx(
     let extra = Workload::OltpSt.client_extra_latency();
     let baseline = ctx.run(&config, Scheme::baseline(), &trace);
     let mu = mu_from_baseline(&config, &baseline, cp_limit, extra);
-    let result = ServerSimulator::new(config.clone(), Scheme::dma_ta_pl(mu, 2))
-        .with_tracing(capacity)
-        .run(trace.trace());
+    let mut sim =
+        ServerSimulator::new(config.clone(), Scheme::dma_ta_pl(mu, 2)).with_tracing(capacity);
+    if let Some(live) = ctx.live() {
+        sim = sim.with_live(std::sync::Arc::clone(live));
+    }
+    if let Some(sink) = spill {
+        sim = sim.with_trace_spill(sink);
+    }
+    let result = sim.run(trace.trace());
     runs.push(TracedRun {
         workload: Workload::OltpSt.label().to_string(),
         result,

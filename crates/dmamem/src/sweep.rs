@@ -28,6 +28,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use dma_trace::Trace;
+use simcore::obs::LiveState;
 use simcore::par;
 use simcore::prof::{EngineProfile, Phase};
 
@@ -270,6 +271,7 @@ pub struct SweepCtx {
     threads: usize,
     memoize: bool,
     profiling: bool,
+    live: Option<Arc<LiveState>>,
     prof: ProfAccum,
     // simlint::allow(nondet-iter, "memo cache: results are read back per key, never iterated; order cannot reach sim output")
     memo: Mutex<HashMap<Arc<str>, Arc<SimResult>>>,
@@ -289,6 +291,7 @@ impl SweepCtx {
             threads: par::resolve_threads(threads),
             memoize: true,
             profiling: false,
+            live: None,
             prof: ProfAccum::default(),
             // simlint::allow(nondet-iter, "memo cache construction; see field comment — lookups only")
             memo: Mutex::new(HashMap::new()),
@@ -324,6 +327,23 @@ impl SweepCtx {
         self
     }
 
+    /// Attaches shared live-telemetry state: every batch that actually
+    /// simulates becomes a wave in [`LiveState`], every executed job
+    /// bumps the done-count and heartbeat, the `dmamem.sweep.*` progress
+    /// counters mirror into the live `/metrics` snapshot, and every
+    /// simulator gets the state for its sim-clock watermark. Simulated
+    /// results are byte-identical with or without this — progress flows
+    /// one way, out of the sweep.
+    pub fn with_live(mut self, live: Arc<LiveState>) -> Self {
+        self.live = Some(live);
+        self
+    }
+
+    /// The attached live-telemetry state, if any.
+    pub fn live(&self) -> Option<&Arc<LiveState>> {
+        self.live.as_ref()
+    }
+
     /// Aggregated engine self-profile over every simulation executed so
     /// far (memo hits excluded — they ran no engine).
     pub fn prof_totals(&self) -> ProfTotals {
@@ -344,8 +364,19 @@ impl SweepCtx {
         if self.profiling {
             sim = sim.with_profiling();
         }
+        if let Some(live) = &self.live {
+            sim = sim.with_live(Arc::clone(live));
+        }
         let r = Arc::new(sim.run(job.trace.trace()));
         self.prof.record(&r.profile);
+        if let Some(live) = &self.live {
+            live.job_done();
+            live.add_engine_events(r.profile.events);
+            let (wave, done, total) = live.progress();
+            live.counter_set("dmamem.sweep.wave", wave);
+            live.counter_set("dmamem.sweep.jobs_done", done);
+            live.counter_set("dmamem.sweep.jobs_total", total);
+        }
         r
     }
 
@@ -406,6 +437,11 @@ impl SweepCtx {
     pub fn run_batch(&self, jobs: Vec<SimJob>) -> Vec<Arc<SimResult>> {
         if !self.memoize {
             self.misses.fetch_add(jobs.len() as u64, Ordering::Relaxed);
+            if let Some(live) = &self.live {
+                if !jobs.is_empty() {
+                    live.begin_wave(jobs.len() as u64);
+                }
+            }
             return par::map(self.threads, jobs, |job| self.simulate(job));
         }
 
@@ -425,6 +461,13 @@ impl SweepCtx {
                     self.misses.fetch_add(1, Ordering::Relaxed);
                     pending.push((Arc::clone(key), job.clone()));
                 }
+            }
+        }
+        if let Some(live) = &self.live {
+            // Only batches that actually simulate count as waves; fully
+            // memoized batches finish instantly and would skew progress.
+            if !pending.is_empty() {
+                live.begin_wave(pending.len() as u64);
             }
         }
         let fresh = par::map(self.threads, pending, |(key, job)| {

@@ -16,12 +16,13 @@
 //!   as chip-busy copy work.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use dma_trace::{Trace, TraceEvent};
 use iobus::{Bus, BusId, DmaRequest, DmaTransfer, IssueOutcome, PageId, TransferId};
 use mempower::policy::PowerPolicy;
 use mempower::{Chip, ChipPhase, EnergyBreakdown, EnergyCategory, PowerMode};
-use simcore::obs::{EventSink, MetricsRegistry, SpanTimer};
+use simcore::obs::{EventSink, LiveState, MetricsRegistry, SpanTimer, SpillSink};
 use simcore::prof::{EngineProfile, Phase, PhaseProfile, Stopwatch};
 use simcore::stats::DurationStats;
 use simcore::{EventQueue, SimDuration, SimTime, Slab};
@@ -48,6 +49,8 @@ pub struct ServerSimulator {
     timeline_window: Option<(SimTime, SimTime)>,
     observability: Option<usize>,
     tracing: Option<usize>,
+    trace_spill: Option<SpillSink>,
+    live: Option<Arc<LiveState>>,
     profiling: bool,
     classic: bool,
 }
@@ -67,6 +70,8 @@ impl ServerSimulator {
             timeline_window: None,
             observability: None,
             tracing: None,
+            trace_spill: None,
+            live: None,
             profiling: false,
             classic: false,
         }
@@ -142,6 +147,27 @@ impl ServerSimulator {
         self
     }
 
+    /// Arms bounded-memory spill mode on the tracer: records displaced
+    /// from the span ring stream to `sink` instead of being dropped, and
+    /// `dmamem.trace.spilled` / `dmamem.trace.dropped` land in the
+    /// metrics snapshot (when observability is on) so loss is never
+    /// silent. Requires [`with_tracing`](ServerSimulator::with_tracing);
+    /// ignored otherwise.
+    pub fn with_trace_spill(mut self, sink: SpillSink) -> Self {
+        self.trace_spill = Some(sink);
+        self
+    }
+
+    /// Attaches shared live-telemetry state: the engine publishes a
+    /// coarse sim-clock watermark into it while running (so a stuck run
+    /// is distinguishable from a slow one on `/status`). Pure one-way
+    /// telemetry — simulated results are byte-identical with or without
+    /// it.
+    pub fn with_live(mut self, live: Arc<LiveState>) -> Self {
+        self.live = Some(live);
+        self
+    }
+
     /// The configuration in force.
     pub fn config(&self) -> &SystemConfig {
         &self.config
@@ -164,6 +190,7 @@ impl ServerSimulator {
         let mut engine = Engine::new(&self.config, &self.scheme);
         engine.prof_timed = self.profiling;
         engine.classic = self.classic;
+        engine.live = self.live.clone();
         if let Some((start, end)) = self.timeline_window {
             engine.obs.timeline = Some(TimelineRecorder::new(start, end, self.config.chips));
         }
@@ -184,12 +211,12 @@ impl ServerSimulator {
                 m.mode_power_mw(PowerMode::Nap),
                 m.mode_power_mw(PowerMode::Powerdown),
             ];
-            engine.obs.tracer = Some(Tracer::new(
-                capacity,
-                self.config.chips,
-                self.config.buses.len(),
-                powers,
-            ));
+            let mut tracer =
+                Tracer::new(capacity, self.config.chips, self.config.buses.len(), powers);
+            if let Some(sink) = &self.trace_spill {
+                tracer = tracer.with_spill(sink.clone());
+            }
+            engine.obs.tracer = Some(tracer);
             for c in &mut engine.chips {
                 c.chip.enable_transition_log();
             }
@@ -349,6 +376,10 @@ struct Engine<'a> {
     /// cannot lose an event-stream record or metric increment. Cached at
     /// run start (consumers never attach mid-run).
     obs_quiet: bool,
+    /// Live telemetry: the engine stores a coarse sim-clock watermark
+    /// into it every 1024 dispatched events (a pure atomic store — see
+    /// [`LiveState::watermark_ps`]). Never read back by the simulation.
+    live: Option<Arc<LiveState>>,
 }
 
 impl<'a> Engine<'a> {
@@ -433,6 +464,7 @@ impl<'a> Engine<'a> {
             prof_timed: false,
             classic: false,
             obs_quiet: true,
+            live: None,
         }
     }
 
@@ -505,9 +537,16 @@ impl<'a> Engine<'a> {
         // attribution is host-dependent anyway and now includes the queue
         // pop between events of one run.
         let mut timed_run: Option<(Phase, Stopwatch)> = None;
+        let mut watermark_tick: u64 = 0;
         while let Some((t, ev)) = self.queue.pop() {
             debug_assert!(t >= self.now, "event time went backwards");
             self.now = t;
+            if let Some(live) = &self.live {
+                watermark_tick += 1;
+                if watermark_tick & 1023 == 0 {
+                    live.watermark_ps(self.now.as_ps());
+                }
+            }
             if self.finished(events.len()) {
                 break;
             }
@@ -565,6 +604,9 @@ impl<'a> Engine<'a> {
             }
         }
         let horizon = self.now.max(SimTime::ZERO + trace.duration());
+        if let Some(live) = &self.live {
+            live.watermark_ps(horizon.as_ps());
+        }
         if let Some(rec) = &mut self.obs.timeline {
             rec.finish(horizon);
         }
@@ -638,6 +680,17 @@ impl<'a> Engine<'a> {
         // byte-identical whether phase timing is armed or not.
         self.obs.publish_prof(&profile);
         let trace = self.obs.tracer.take().map(|t| t.into_buffer(horizon));
+        // Trace-ring loss accounting: spilled records reached the spill
+        // sink, dropped records are gone. Published whenever both
+        // consumers are attached so truncation is observable, not silent.
+        if let (Some(m), Some(buf)) = (self.obs.metrics.as_ref(), trace.as_ref()) {
+            m.registry
+                .counter(crate::tracing::COUNTER_SPILLED)
+                .add(buf.spilled());
+            m.registry
+                .counter(crate::tracing::COUNTER_DROPPED)
+                .add(buf.dropped());
+        }
         let obs_report = self.obs.sink.take().map(|events| RunObs {
             metrics: self
                 .obs

@@ -35,7 +35,7 @@ use std::collections::BTreeMap;
 
 use mempower::{EnergyBreakdown, EnergyCategory, PowerMode, TransitionEvent};
 use simcore::obs::json::JsonObject;
-use simcore::obs::trace::{SpanId, TraceBuffer, TrackId, TrackKind};
+use simcore::obs::trace::{SpanId, SpillSink, TraceBuffer, TrackId, TrackKind};
 use simcore::SimTime;
 
 use crate::metrics::SimResult;
@@ -72,6 +72,13 @@ pub const SPAN_LOW_POWER: &str = "dmamem.trace.low_power";
 /// Chip-track counter: chip power draw in milliwatts, sampled at every
 /// mode transition.
 pub const COUNTER_POWER: &str = "dmamem.trace.power_mw";
+/// Run metric: trace records streamed to the spill sink instead of being
+/// dropped when the span ring overflowed (see
+/// [`TraceBuffer::arm_spill`](simcore::obs::trace::TraceBuffer::arm_spill)).
+pub const COUNTER_SPILLED: &str = "dmamem.trace.spilled";
+/// Run metric: trace records lost to ring overflow (no spill sink armed)
+/// or to spill-sink write failures — loss is counted, never silent.
+pub const COUNTER_DROPPED: &str = "dmamem.trace.dropped";
 
 /// Where a transfer is in its life cycle (drives which child span is
 /// open on the bus track).
@@ -151,6 +158,16 @@ impl Tracer {
             transfers: BTreeMap::new(),
             last: SimTime::ZERO,
         }
+    }
+
+    /// Arms bounded-memory spill mode: records displaced from the ring
+    /// stream to `sink` instead of being dropped (open-span begins stay
+    /// resident until their end). Must be called before the run starts;
+    /// track registration has already happened in [`Tracer::new`], so the
+    /// sink receives a complete Chrome JSON header.
+    pub fn with_spill(mut self, sink: SpillSink) -> Self {
+        self.buf.arm_spill(sink);
+        self
     }
 
     fn at(&mut self, t: SimTime) -> SimTime {
@@ -567,10 +584,28 @@ mod tests {
             SPAN_TRANSITION,
             SPAN_LOW_POWER,
             COUNTER_POWER,
+            COUNTER_SPILLED,
+            COUNTER_DROPPED,
         ] {
             assert!(TRACE_KEYS.contains(&name), "unregistered trace key {name}");
         }
-        assert_eq!(TRACE_KEYS.len(), 12);
+        assert_eq!(TRACE_KEYS.len(), 14);
+    }
+
+    #[test]
+    fn spill_armed_tracer_finalizes_to_ring_export() {
+        let (sink, cell) = SpillSink::memory();
+        let mut tr = Tracer::new(1 << 12, 1, 1, [300.0, 180.0, 30.0, 3.0]).with_spill(sink);
+        tr.transfer_started(7, 0, t(1));
+        tr.issued(7, true, true, true, t(2));
+        tr.serve_start(7, t(3));
+        tr.serve_done(7, true, t(4));
+        let mut buf = tr.into_buffer(t(5));
+        let ring_json = buf.to_chrome_json();
+        assert_eq!(buf.spilled(), 0, "ample capacity: nothing spills early");
+        buf.finalize_spill();
+        let spilled = String::from_utf8(cell.lock().expect("spill buffer").clone()).unwrap();
+        assert_eq!(spilled, ring_json);
     }
 
     #[test]

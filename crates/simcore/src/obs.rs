@@ -23,6 +23,10 @@
 //! * [`trace`] — a causal [`TraceBuffer`](trace::TraceBuffer) of
 //!   begin/end/instant/counter records over simulated time, exportable as
 //!   Chrome/Perfetto `trace_event` JSON.
+//! * [`serve`] — the live telemetry layer: a shared
+//!   [`LiveState`](serve::LiveState) of sweep progress plus a std-only
+//!   HTTP server exposing `/metrics` (Prometheus text exposition),
+//!   `/status` (JSON progress), and `/events` (JSONL tail).
 //!
 //! A tiny dependency-free JSON writer (and the matching minimal parser the
 //! trace tooling uses to re-read its own exports) lives in [`json`]; all
@@ -43,11 +47,13 @@
 pub mod events;
 pub mod json;
 pub mod metrics;
+pub mod serve;
 pub mod span;
 pub mod trace;
 
 pub use events::{EventSink, ObsEvent};
 pub use json::JsonObject;
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
+pub use serve::{render_prometheus, LiveState, ServerHandle};
 pub use span::SpanTimer;
-pub use trace::{SpanId, TraceBuffer, TraceStats, TrackId, TrackKind};
+pub use trace::{SpanId, SpillSink, TraceBuffer, TraceStats, TrackId, TrackKind};

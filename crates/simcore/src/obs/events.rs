@@ -117,6 +117,18 @@ impl<E: ObsEvent> EventSink<E> {
         obj.finish()
     }
 
+    /// Iterates the buffered events with sequence number `>= since`,
+    /// oldest first, as `(seq, jsonl-line)` pairs (no trailing
+    /// newlines). This is the cursor-carrying accessor the live
+    /// telemetry tail uses: callers remember the last `seq + 1` they saw
+    /// and pass it back to read only newer events.
+    pub fn lines_since(&self, since: u64) -> impl Iterator<Item = (u64, String)> + '_ {
+        self.buf
+            .iter()
+            .filter(move |(seq, _)| *seq >= since)
+            .map(|(seq, e)| (*seq, Self::line(*seq, e)))
+    }
+
     /// Writes the buffered events as JSONL (one JSON object per line).
     pub fn export_jsonl<W: Write>(&self, w: &mut W) -> io::Result<()> {
         for (seq, e) in &self.buf {
@@ -171,6 +183,25 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains(r#""seq":1"#) && lines[0].contains(r#""label":"b""#));
         assert!(lines[1].contains(r#""seq":2"#) && lines[1].contains(r#""label":"c""#));
+    }
+
+    #[test]
+    fn lines_since_carries_cursors() {
+        let mut sink = EventSink::new(2);
+        for (i, label) in ["a", "b", "c"].iter().enumerate() {
+            sink.record(Probe { t: i as u64, label });
+        }
+        // seq 0 was evicted; the cursor view starts at the retained tail.
+        let all: Vec<(u64, String)> = sink.lines_since(0).collect();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].0, 1);
+        assert!(all[0].1.contains(r#""label":"b""#));
+        let newer: Vec<(u64, String)> = sink.lines_since(2).collect();
+        assert_eq!(newer.len(), 1);
+        assert_eq!(newer[0].0, 2);
+        // Lines match the JSONL export byte for byte.
+        let joined: String = all.iter().map(|(_, l)| format!("{l}\n")).collect();
+        assert_eq!(joined, sink.to_jsonl());
     }
 
     #[test]

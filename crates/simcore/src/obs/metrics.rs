@@ -296,6 +296,12 @@ impl MetricsRegistry {
 
     /// Freezes the current values of every registered metric. Key strings
     /// are shared with the registry (`Arc` bumps), not reallocated.
+    ///
+    /// Iteration order is part of the contract: every map in the returned
+    /// [`MetricsSnapshot`] yields keys in ascending lexicographic order,
+    /// independent of registration order. Exporters (JSON dumps, the
+    /// Prometheus endpoint, golden-file tests) rely on this for
+    /// byte-stable output, so it is pinned by a regression test.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let inner = self.inner.borrow();
         MetricsSnapshot {
@@ -485,6 +491,40 @@ mod tests {
         assert!(json.contains(r#""counters":{"a.b":1}"#), "{json}");
         assert!(json.contains(r#""gauges":{"c":0.5}"#), "{json}");
         assert!(json.contains(r#""buckets":[[2,1]]"#), "{json}");
+    }
+
+    #[test]
+    fn snapshot_iterates_keys_in_sorted_order() {
+        // Registration order is deliberately shuffled; the snapshot (and
+        // therefore every exporter downstream of it) must still iterate
+        // lexicographically. This pins the documented ordering contract.
+        let reg = MetricsRegistry::new();
+        for name in ["zeta.c", "alpha.c", "mid.c", "alpha.a"] {
+            reg.counter(name).inc();
+        }
+        for name in ["z.g", "a.g"] {
+            reg.gauge(name).set(1.0);
+        }
+        for name in ["z.h", "a.h"] {
+            reg.histogram(name).record(1);
+        }
+        let snap = reg.snapshot();
+        let counters: Vec<&str> = snap.counters.keys().map(|k| k.as_ref()).collect();
+        assert_eq!(counters, ["alpha.a", "alpha.c", "mid.c", "zeta.c"]);
+        let gauges: Vec<&str> = snap.gauges.keys().map(|k| k.as_ref()).collect();
+        assert_eq!(gauges, ["a.g", "z.g"]);
+        let hists: Vec<&str> = snap.histograms.keys().map(|k| k.as_ref()).collect();
+        assert_eq!(hists, ["a.h", "z.h"]);
+        // Merging preserves the invariant (BTreeMap insertion re-sorts).
+        let other = MetricsRegistry::new();
+        other.counter("beta.c").inc();
+        let mut merged = snap;
+        merged.merge(&other.snapshot());
+        let counters: Vec<&str> = merged.counters.keys().map(|k| k.as_ref()).collect();
+        assert_eq!(
+            counters,
+            ["alpha.a", "alpha.c", "beta.c", "mid.c", "zeta.c"]
+        );
     }
 
     #[test]

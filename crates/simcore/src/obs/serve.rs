@@ -1,0 +1,681 @@
+//! Live telemetry: shared sweep progress, Prometheus text exposition,
+//! and a std-only HTTP/1.1 scrape server.
+//!
+//! Everything observable so far is post-mortem — artifacts appear only
+//! after a run finishes. This module adds the *live* layer:
+//!
+//! * [`LiveState`] — a thread-safe bag of progress the sweep driver
+//!   publishes into while jobs run: current figure, wave and job
+//!   counters, a wall-clock heartbeat, a coarse sim-clock watermark, an
+//!   aggregate [`MetricsSnapshot`], and a bounded ring of pre-rendered
+//!   JSONL event lines with monotonic cursors.
+//! * [`render_prometheus`] — renders a [`MetricsSnapshot`] as Prometheus
+//!   text exposition (version 0.0.4): counters and gauges directly,
+//!   log2 histograms as cumulative `_bucket`/`_sum`/`_count` families.
+//! * [`serve`] — binds a TCP listener and answers `GET /metrics`,
+//!   `GET /status`, and `GET /events?since=N` on a background thread
+//!   until the returned [`ServerHandle`] is shut down.
+//!
+//! The iron rule of the repo holds here by construction: nothing in
+//! this module feeds back into simulation state. Wall-clock time enters
+//! only to timestamp the heartbeat and compute uptime for `/status`;
+//! simulated results flow one way, into the live snapshot.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use std::time::Instant;
+
+use super::json::JsonObject;
+use super::metrics::{MetricsSnapshot, HISTOGRAM_BUCKETS};
+
+/// Default capacity of the live event-line ring.
+const EVENT_RING_CAPACITY: usize = 4096;
+
+/// Ring of pre-rendered JSONL event lines with global sequence numbers.
+#[derive(Debug, Default)]
+struct EventRing {
+    buf: VecDeque<(u64, String)>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// The tail of the live event stream returned by
+/// [`LiveState::events_since`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventTail {
+    /// JSONL body: the retained lines with `seq >= since`, each
+    /// newline-terminated (empty when nothing new).
+    pub body: String,
+    /// The cursor to pass as `since` next time to see only newer lines.
+    pub next_seq: u64,
+    /// Lines evicted from the ring over its lifetime. If this grew
+    /// between polls, the tail has a gap.
+    pub dropped: u64,
+}
+
+/// Shared live-progress state published by a sweep driver and read by
+/// the scrape server.
+///
+/// All methods take `&self`; the state is internally synchronized and
+/// meant to sit behind an [`Arc`], with the sweep/engine side writing
+/// and the HTTP side reading. Writers use plain atomic stores or short
+/// mutex sections, so publishing progress never blocks on a scrape.
+#[derive(Debug)]
+pub struct LiveState {
+    start: Instant,
+    figure: Mutex<String>,
+    wave: AtomicU64,
+    jobs_done: AtomicU64,
+    jobs_total: AtomicU64,
+    sim_ps: AtomicU64,
+    engine_events: AtomicU64,
+    /// Nanoseconds after `start` of the latest heartbeat; 0 = never.
+    heartbeat_ns: AtomicU64,
+    metrics: Mutex<MetricsSnapshot>,
+    events: Mutex<EventRing>,
+}
+
+impl Default for LiveState {
+    fn default() -> Self {
+        LiveState::new()
+    }
+}
+
+impl LiveState {
+    /// Fresh state with zeroed progress and an empty event ring.
+    pub fn new() -> Self {
+        LiveState {
+            // simlint::allow(wall-clock, "live-telemetry epoch: anchors uptime and heartbeat age for /status only; never read by simulation code")
+            start: Instant::now(),
+            figure: Mutex::new(String::new()),
+            wave: AtomicU64::new(0),
+            jobs_done: AtomicU64::new(0),
+            jobs_total: AtomicU64::new(0),
+            sim_ps: AtomicU64::new(0),
+            engine_events: AtomicU64::new(0),
+            heartbeat_ns: AtomicU64::new(0),
+            metrics: Mutex::new(MetricsSnapshot::default()),
+            events: Mutex::new(EventRing {
+                capacity: EVENT_RING_CAPACITY,
+                ..EventRing::default()
+            }),
+        }
+    }
+
+    /// Publishes the figure (or phase) currently being produced.
+    pub fn set_figure(&self, name: &str) {
+        let mut f = self.figure.lock().expect("live figure lock poisoned");
+        f.clear();
+        f.push_str(name);
+    }
+
+    /// The figure most recently published via [`LiveState::set_figure`].
+    pub fn figure(&self) -> String {
+        self.figure
+            .lock()
+            .expect("live figure lock poisoned")
+            .clone()
+    }
+
+    /// Starts a new sweep wave of `jobs` simulation jobs: bumps the wave
+    /// counter and grows the job total.
+    pub fn begin_wave(&self, jobs: u64) {
+        self.wave.fetch_add(1, Ordering::Relaxed);
+        self.jobs_total.fetch_add(jobs, Ordering::Relaxed);
+        self.heartbeat();
+    }
+
+    /// Records one finished simulation job and returns the new
+    /// done-count.
+    pub fn job_done(&self) -> u64 {
+        self.heartbeat();
+        self.jobs_done.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// `(wave, jobs_done, jobs_total)` as last published.
+    pub fn progress(&self) -> (u64, u64, u64) {
+        (
+            self.wave.load(Ordering::Relaxed),
+            self.jobs_done.load(Ordering::Relaxed),
+            self.jobs_total.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Stamps the liveness heartbeat with the current wall-clock time.
+    pub fn heartbeat(&self) {
+        let ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        // `0` means "never beaten"; a beat in the first nanosecond still
+        // counts.
+        self.heartbeat_ns.store(ns.max(1), Ordering::Relaxed);
+    }
+
+    /// Seconds since the last heartbeat, or `None` before the first one.
+    pub fn heartbeat_age_secs(&self) -> Option<f64> {
+        let beat = self.heartbeat_ns.load(Ordering::Relaxed);
+        if beat == 0 {
+            return None;
+        }
+        let now_ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        Some(now_ns.saturating_sub(beat) as f64 / 1e9)
+    }
+
+    /// Seconds since this state was created.
+    pub fn uptime_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Publishes the engine's coarse sim-clock watermark (picoseconds).
+    ///
+    /// A plain atomic store: this is called from inside the engine run
+    /// loop, so it must never lock, allocate, or panic.
+    pub fn watermark_ps(&self, ps: u64) {
+        self.sim_ps.store(ps, Ordering::Relaxed);
+    }
+
+    /// The last published sim-clock watermark, in picoseconds.
+    pub fn sim_time_ps(&self) -> u64 {
+        self.sim_ps.load(Ordering::Relaxed)
+    }
+
+    /// Adds `n` dispatched engine events to the lifetime total backing
+    /// the `/status` events-per-second rate.
+    pub fn add_engine_events(&self, n: u64) {
+        self.engine_events.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Engine events accumulated so far.
+    pub fn engine_events(&self) -> u64 {
+        self.engine_events.load(Ordering::Relaxed)
+    }
+
+    /// Sets one counter in the aggregate metrics snapshot (used for
+    /// progress-style keys that have no per-run registry registration).
+    pub fn counter_set(&self, name: &str, value: u64) {
+        let mut m = self.metrics.lock().expect("live metrics lock poisoned");
+        m.counters.insert(Arc::from(name), value);
+    }
+
+    /// Merges one finished run's metrics snapshot into the aggregate
+    /// (counters add, gauges last-wins, histograms merge).
+    pub fn merge_metrics(&self, snap: &MetricsSnapshot) {
+        let mut m = self.metrics.lock().expect("live metrics lock poisoned");
+        m.merge(snap);
+    }
+
+    /// A clone of the aggregate metrics snapshot.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics
+            .lock()
+            .expect("live metrics lock poisoned")
+            .clone()
+    }
+
+    /// Appends one pre-rendered JSONL event line to the live ring,
+    /// evicting the oldest line when full.
+    pub fn push_event_line(&self, line: String) {
+        let mut ring = self.events.lock().expect("live event ring poisoned");
+        if ring.buf.len() == ring.capacity {
+            ring.buf.pop_front();
+            ring.dropped += 1;
+        }
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        ring.buf.push_back((seq, line));
+    }
+
+    /// The retained event lines with sequence number `>= since`.
+    pub fn events_since(&self, since: u64) -> EventTail {
+        let ring = self.events.lock().expect("live event ring poisoned");
+        let mut body = String::new();
+        for (seq, line) in &ring.buf {
+            if *seq >= since {
+                body.push_str(line);
+                body.push('\n');
+            }
+        }
+        EventTail {
+            body,
+            next_seq: ring.next_seq,
+            dropped: ring.dropped,
+        }
+    }
+
+    /// The `/status` JSON document.
+    pub fn status_json(&self) -> String {
+        let (wave, done, total) = self.progress();
+        let uptime = self.uptime_secs();
+        let events = self.engine_events();
+        let rate = if uptime > 0.0 {
+            events as f64 / uptime
+        } else {
+            0.0
+        };
+        let mut obj = JsonObject::new();
+        obj.field_str("figure", &self.figure())
+            .field_u64("wave", wave)
+            .field_u64("jobs_done", done)
+            .field_u64("jobs_total", total)
+            .field_u64("engine_events", events)
+            .field_f64("events_per_sec", rate)
+            .field_f64("uptime_secs", uptime)
+            .field_u64("sim_time_ps", self.sim_time_ps());
+        match self.heartbeat_age_secs() {
+            Some(age) => obj.field_f64("heartbeat_age_secs", age),
+            None => obj.field_raw("heartbeat_age_secs", "null"),
+        };
+        obj.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------------
+
+/// Escapes a HELP-line string per the Prometheus text format:
+/// backslash and newline.
+pub fn escape_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a label value per the Prometheus text format: backslash,
+/// double quote, and newline.
+pub fn escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Maps a registry key to a valid Prometheus metric name:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`, with every other character folded to `_`.
+pub fn metric_name(key: &str) -> String {
+    let mut out = String::with_capacity(key.len());
+    for (i, c) in key.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if ok && !(i == 0 && c.is_ascii_digit()) {
+            out.push(c);
+        } else {
+            out.push('_');
+            if c.is_ascii_digit() {
+                out.push(c);
+            }
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Inclusive upper bound of log2 histogram bucket `i` (the `le` label
+/// value): bucket 0 holds only zeros, bucket `i >= 1` holds
+/// `[2^(i-1), 2^i - 1]`.
+fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// Renders `snap` as Prometheus text exposition (format version 0.0.4).
+///
+/// Counters and gauges emit one sample each; histograms emit cumulative
+/// `_bucket{le="…"}` samples up to the highest non-empty log2 bucket,
+/// then `le="+Inf"`, `_sum`, and `_count`. Families appear in sorted
+/// key order (the snapshot's maps are ordered), so the exposition is
+/// byte-stable for equal snapshots.
+pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (key, value) in &snap.counters {
+        let name = metric_name(key);
+        out.push_str(&format!(
+            "# HELP {name} simulation counter \"{}\"\n# TYPE {name} counter\n{name} {value}\n",
+            escape_help(key)
+        ));
+    }
+    for (key, value) in &snap.gauges {
+        let name = metric_name(key);
+        out.push_str(&format!(
+            "# HELP {name} simulation gauge \"{}\"\n# TYPE {name} gauge\n{name} {value}\n",
+            escape_help(key)
+        ));
+    }
+    for (key, h) in &snap.histograms {
+        let name = metric_name(key);
+        out.push_str(&format!(
+            "# HELP {name} simulation log2 histogram \"{}\"\n# TYPE {name} histogram\n",
+            escape_help(key)
+        ));
+        let top = (0..HISTOGRAM_BUCKETS)
+            .rev()
+            .find(|&i| h.buckets[i] > 0)
+            .unwrap_or(0);
+        let mut cumulative = 0u64;
+        for (i, &count) in h.buckets.iter().enumerate().take(top + 1) {
+            cumulative += count;
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                bucket_upper_bound(i)
+            ));
+        }
+        out.push_str(&format!(
+            "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum {}\n{name}_count {}\n",
+            h.count, h.sum, h.count
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// HTTP server
+// ---------------------------------------------------------------------------
+
+/// Handle to a running telemetry server; dropping it shuts the server
+/// down and joins the background thread.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves `:0` requests).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the server and joins its thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(join) = self.join.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop blocks; a throwaway connection unblocks it so
+        // it can observe the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        let _ = join.join();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Starts the telemetry server on `addr` (e.g. `127.0.0.1:9091`, or
+/// port `0` for an ephemeral port) serving `state` on a background
+/// thread. Endpoints:
+///
+/// * `GET /metrics` — Prometheus text exposition of the aggregate
+///   metrics snapshot;
+/// * `GET /status` — JSON progress document (figure, wave, job counts,
+///   engine events/sec, uptime, heartbeat age, sim-clock watermark);
+/// * `GET /events?since=N` — JSONL tail of the live event ring, with
+///   `X-Next-Seq` and `X-Dropped` cursor headers.
+///
+/// Responses are `HTTP/1.1` with `Connection: close`; anything else is
+/// a 404.
+pub fn serve(addr: &str, state: Arc<LiveState>) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread_stop = Arc::clone(&stop);
+    let join = std::thread::Builder::new()
+        .name("telemetry-serve".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if thread_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                handle_connection(stream, &state);
+            }
+        })?;
+    Ok(ServerHandle {
+        addr,
+        stop,
+        join: Some(join),
+    })
+}
+
+/// Reads one request, routes it, writes one response. Any I/O error
+/// just drops the connection — a scraper retry is cheaper than server
+/// state.
+fn handle_connection(mut stream: TcpStream, state: &LiveState) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(2_000)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(2_000)));
+    let mut buf = [0u8; 4096];
+    let mut req = Vec::new();
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                req.extend_from_slice(&buf[..n]);
+                if req.windows(4).any(|w| w == b"\r\n\r\n") || req.len() > 16 * 1024 {
+                    break;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+    let request_line = match std::str::from_utf8(&req) {
+        Ok(text) => text.lines().next().unwrap_or("").to_string(),
+        Err(_) => return,
+    };
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let response = if method != "GET" {
+        respond(
+            405,
+            "text/plain; charset=utf-8",
+            "method not allowed\n",
+            &[],
+        )
+    } else {
+        match path {
+            "/metrics" => respond(
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                &render_prometheus(&state.metrics_snapshot()),
+                &[],
+            ),
+            "/status" => {
+                let mut body = state.status_json();
+                body.push('\n');
+                respond(200, "application/json; charset=utf-8", &body, &[])
+            }
+            "/events" => {
+                let since = query
+                    .split('&')
+                    .find_map(|kv| kv.strip_prefix("since="))
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or(0);
+                let tail = state.events_since(since);
+                let cursors = [
+                    ("X-Next-Seq", tail.next_seq.to_string()),
+                    ("X-Dropped", tail.dropped.to_string()),
+                ];
+                respond(200, "application/x-ndjson", &tail.body, &cursors)
+            }
+            _ => respond(404, "text/plain; charset=utf-8", "not found\n", &[]),
+        }
+    };
+    let _ = stream.write_all(response.as_bytes());
+}
+
+/// Formats one `HTTP/1.1` response with `Content-Length` and
+/// `Connection: close`.
+fn respond(code: u16, content_type: &str, body: &str, extra: &[(&str, String)]) -> String {
+    let reason = match code {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    let mut head = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for (k, v) in extra {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str("\r\n");
+    head.push_str(body);
+    head
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::MetricsRegistry;
+
+    fn get(addr: SocketAddr, target: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect to test server");
+        write!(stream, "GET {target} HTTP/1.1\r\nHost: test\r\n\r\n").expect("send request");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read response");
+        out
+    }
+
+    #[test]
+    fn escaping_follows_text_format() {
+        assert_eq!(escape_help(r"a\b"), r"a\\b");
+        assert_eq!(escape_help("a\nb"), r"a\nb");
+        assert_eq!(escape_help(r#"quote " kept"#), r#"quote " kept"#);
+        assert_eq!(escape_label(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escape_label("a\\\nb"), "a\\\\\\nb");
+    }
+
+    #[test]
+    fn metric_names_are_sanitized() {
+        assert_eq!(metric_name("dmamem.trace.spilled"), "dmamem_trace_spilled");
+        assert_eq!(metric_name("weird key-v2"), "weird_key_v2");
+        assert_eq!(metric_name("9lives"), "_9lives");
+        assert_eq!(metric_name(""), "_");
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("probe.lat");
+        h.record(0);
+        h.record(1);
+        h.record(3);
+        h.record(3);
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains("# TYPE probe_lat histogram"));
+        assert!(text.contains("probe_lat_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("probe_lat_bucket{le=\"1\"} 2\n"));
+        assert!(text.contains("probe_lat_bucket{le=\"3\"} 4\n"));
+        assert!(text.contains("probe_lat_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("probe_lat_sum 7\n"));
+        assert!(text.contains("probe_lat_count 4\n"));
+        // No empty buckets beyond the highest populated one.
+        assert!(!text.contains("le=\"7\""));
+    }
+
+    #[test]
+    fn live_state_tracks_progress_and_events() {
+        let live = LiveState::new();
+        assert_eq!(live.heartbeat_age_secs(), None);
+        live.set_figure("fig5");
+        live.begin_wave(3);
+        live.job_done();
+        assert_eq!(live.progress(), (1, 1, 3));
+        assert!(live.heartbeat_age_secs().is_some());
+        live.watermark_ps(42_000);
+        live.add_engine_events(10);
+        for i in 0..5 {
+            live.push_event_line(format!("{{\"seq\":{i}}}"));
+        }
+        let tail = live.events_since(3);
+        assert_eq!(tail.body, "{\"seq\":3}\n{\"seq\":4}\n");
+        assert_eq!(tail.next_seq, 5);
+        assert_eq!(tail.dropped, 0);
+        let status = live.status_json();
+        assert!(status.contains("\"figure\":\"fig5\""));
+        assert!(status.contains("\"jobs_total\":3"));
+        assert!(status.contains("\"sim_time_ps\":42000"));
+    }
+
+    #[test]
+    fn event_ring_drops_oldest_and_reports_gap() {
+        let live = LiveState::new();
+        for i in 0..(EVENT_RING_CAPACITY as u64 + 10) {
+            live.push_event_line(format!("line {i}"));
+        }
+        let tail = live.events_since(0);
+        assert_eq!(tail.dropped, 10);
+        assert_eq!(tail.next_seq, EVENT_RING_CAPACITY as u64 + 10);
+        assert!(tail.body.starts_with("line 10\n"));
+    }
+
+    #[test]
+    fn server_round_trips_all_endpoints() {
+        let live = Arc::new(LiveState::new());
+        live.set_figure("table2");
+        live.begin_wave(2);
+        live.counter_set("probe.jobs", 7);
+        // simlint::allow(obs-key, "synthetic probe line exercising the tail endpoint, not a real event stream")
+        live.push_event_line("{\"kind\":\"probe\"}".to_string());
+        let handle = serve("127.0.0.1:0", Arc::clone(&live)).expect("bind test server");
+        let addr = handle.addr();
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"));
+        assert!(metrics.contains("text/plain; version=0.0.4"));
+        assert!(metrics.contains("probe_jobs 7"));
+
+        let status = get(addr, "/status");
+        assert!(status.contains("application/json"));
+        assert!(status.contains("\"figure\":\"table2\""));
+
+        let events = get(addr, "/events?since=0");
+        assert!(events.contains("X-Next-Seq: 1"));
+        assert!(events.contains("X-Dropped: 0"));
+        // simlint::allow(obs-key, "synthetic probe line exercising the tail endpoint, not a real event stream")
+        assert!(events.contains("{\"kind\":\"probe\"}"));
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"));
+
+        handle.shutdown();
+        // The port is released: a fresh bind to the same address works.
+        let rebind = TcpListener::bind(addr);
+        assert!(rebind.is_ok());
+    }
+}

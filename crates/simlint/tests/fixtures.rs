@@ -12,9 +12,11 @@ use simlint::{lint_source, lint_sources, KeyTable, OBS_SOURCE};
 fn table() -> KeyTable {
     let mut t = KeyTable::default();
     t.metric_keys.insert("dmamem.wakes".into());
+    t.metric_keys.insert("dmamem.sweep.jobs_done".into());
     t.prof_keys.insert("dmamem.prof.events".into());
     t.event_kinds.insert("epoch_tick".into());
     t.trace_keys.insert("dmamem.trace.wakeup".into());
+    t.trace_keys.insert("dmamem.trace.spilled".into());
     t
 }
 

@@ -5,6 +5,12 @@ pub fn check(line: &str) -> bool {
 pub fn check_trace(json: &str) -> bool {
     json.contains("dmamem.trace.wakeup")
 }
+pub fn check_spill(json: &str) -> bool {
+    json.contains("dmamem.trace.spilled")
+}
+pub fn check_progress(line: &str) -> bool {
+    line.contains("dmamem.sweep.jobs_done")
+}
 pub fn check_prof(json: &str) -> bool {
     json.contains("dmamem.prof.events")
 }

@@ -6,6 +6,12 @@ pub fn check(line: &str) -> bool {
 pub fn check_trace(json: &str) -> bool {
     json.contains("dmamem.trace.wakeups")
 }
+pub fn check_spill(json: &str) -> bool {
+    json.contains("dmamem.trace.spiled")
+}
+pub fn check_progress(line: &str) -> bool {
+    line.contains("dmamem.sweep.jobs_dne")
+}
 pub fn check_prof(json: &str) -> bool {
     json.contains("dmamem.prof.evnets")
 }
